@@ -1,0 +1,85 @@
+//! Criterion bench for **Observation 10**: "the proposed methods take less
+//! than 10 milliseconds to make a decision, hence being feasible for online
+//! deployment."
+//!
+//! We benchmark the pure decision kernels on a *fully loaded Theta-sized
+//! state*: hundreds of running jobs on 4,392 nodes, an on-demand request
+//! that needs victim selection / shrink planning / CUP planning.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hws_core::mechanism::{plan_cup, plan_shrinks, select_victims, CupCandidate, ShrinkInfo, VictimInfo};
+use hws_core::{ShrinkStrategy, VictimOrder};
+use hws_sim::SimTime;
+use hws_workload::JobId;
+use std::hint::black_box;
+
+/// A Theta-sized running set: jobs covering several thousand nodes.
+fn victims(n: usize) -> Vec<VictimInfo> {
+    (0..n)
+        .map(|i| VictimInfo {
+            id: JobId(i as u64),
+            nodes: 8 + (i as u32 * 37) % 128,
+            overhead_ns: ((i as u64 * 2_654_435_761) % 1_000_000) * 60,
+            started: SimTime::from_secs((i as u64 * 997) % 86_400),
+        })
+        .collect()
+}
+
+fn shrinkables(n: usize) -> Vec<ShrinkInfo> {
+    (0..n)
+        .map(|i| {
+            let cur = 16 + (i as u32 * 53) % 256;
+            ShrinkInfo {
+                id: JobId(i as u64),
+                cur,
+                min: cur / 5,
+            }
+        })
+        .collect()
+}
+
+fn cup_candidates(n: usize) -> Vec<CupCandidate> {
+    (0..n)
+        .map(|i| CupCandidate {
+            id: JobId(i as u64),
+            nodes: 8 + (i as u32 * 37) % 128,
+            expected_end: SimTime::from_secs(1_000 + (i as u64 * 331) % 100_000),
+            overhead_ns: ((i as u64 * 48_271) % 1_000_000) * 60,
+            cheap_preempt_at: (i % 3 != 0).then(|| SimTime::from_secs((i as u64 * 77) % 2_000)),
+        })
+        .collect()
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision_latency");
+
+    for n in [64usize, 400, 1_000] {
+        g.bench_function(format!("paa_select_victims/{n}_running"), |b| {
+            let v = victims(n);
+            b.iter_batched(
+                || v.clone(),
+                |v| black_box(select_victims(v, 2_048, VictimOrder::Overhead)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    for n in [32usize, 150, 400] {
+        g.bench_function(format!("spaa_plan_shrinks/{n}_malleable"), |b| {
+            let s = shrinkables(n);
+            b.iter(|| black_box(plan_shrinks(&s, 2_048, ShrinkStrategy::EvenWaterFill)))
+        });
+    }
+
+    for n in [64usize, 400] {
+        g.bench_function(format!("cup_plan/{n}_running"), |b| {
+            let cand = cup_candidates(n);
+            b.iter(|| black_box(plan_cup(&cand, 2_048, SimTime::from_secs(1_800))))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

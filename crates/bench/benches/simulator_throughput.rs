@@ -1,0 +1,40 @@
+//! End-to-end simulator throughput: how fast a full trace replays under the
+//! baseline and the heaviest hybrid mechanism, plus trace generation cost.
+//! (Not a paper figure; it documents that the one-month Theta replay is a
+//! tens-of-milliseconds affair, which is what makes the 300-simulation
+//! Fig. 6 grid practical.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hws_core::{Mechanism, SimConfig, Simulator};
+use hws_workload::TraceConfig;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+
+    let month = TraceConfig {
+        horizon: hws_sim::SimDuration::from_days(30),
+        target_jobs: 3_065,
+        ..TraceConfig::theta_2019()
+    };
+
+    g.bench_function("generate_trace/1_month_theta", |b| {
+        b.iter(|| black_box(month.generate(1)))
+    });
+
+    let trace = month.generate(1);
+    g.bench_function("replay/baseline_1_month", |b| {
+        let cfg = SimConfig::baseline();
+        b.iter(|| black_box(Simulator::run_trace(&cfg, &trace)))
+    });
+    g.bench_function("replay/cup_spaa_1_month", |b| {
+        let cfg = SimConfig::with_mechanism(Mechanism::CUP_SPAA);
+        b.iter(|| black_box(Simulator::run_trace(&cfg, &trace)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

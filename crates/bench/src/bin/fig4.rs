@@ -1,0 +1,33 @@
+//! **Figure 4** — job-type distribution across the randomly generated
+//! traces. "The rigid, on-demand, malleable job distributions differ
+//! significantly on different traces because different projects have
+//! significant differences in sizes and submission patterns."
+
+use hws_bench::seeds_from_env;
+use hws_metrics::Table;
+use hws_workload::{stats, TraceConfig};
+
+fn main() {
+    let seeds = seeds_from_env();
+    let cfg = TraceConfig::theta_2019();
+    let mut t = Table::new(vec!["Trace", "Rigid %", "On-demand %", "Malleable %"]);
+    let mut od_range = (f64::MAX, f64::MIN);
+    for seed in 0..seeds {
+        let trace = cfg.generate(seed);
+        let s = stats::type_shares(&trace);
+        od_range = (od_range.0.min(s.on_demand), od_range.1.max(s.on_demand));
+        t.row(vec![
+            format!("T{seed}"),
+            format!("{:.1}", s.rigid * 100.0),
+            format!("{:.1}", s.on_demand * 100.0),
+            format!("{:.1}", s.malleable * 100.0),
+        ]);
+    }
+    println!("FIGURE 4: job type distributions across {seeds} traces");
+    println!("{}", t.render());
+    println!(
+        "on-demand share spans {:.1}%-{:.1}% (paper: \"3%-15% of total workloads\")",
+        od_range.0 * 100.0,
+        od_range.1 * 100.0
+    );
+}

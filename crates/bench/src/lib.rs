@@ -1,0 +1,142 @@
+//! # hws-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus shared
+//! plumbing: multi-seed parallel execution and result aggregation. The
+//! Criterion benches under `benches/` cover Observation 10 (decision
+//! latency) and simulator/backfill throughput.
+//!
+//! Scale knobs (environment variables, so `cargo bench`/CI stay fast):
+//!
+//! * `HWS_SCALE=full` — run the full-year, 4,392-node Theta configuration
+//!   (the paper's scale). Default is a calibrated 1/6-scale trace (2 months)
+//!   that preserves system size, load, and burstiness.
+//! * `HWS_SEEDS=n` — number of random traces per cell (paper: 10).
+
+use hws_core::{Mechanism, SimConfig, Simulator};
+use hws_metrics::{Metrics, MetricsAvg};
+use hws_sim::SimDuration;
+use hws_workload::{NoticeMix, TraceConfig};
+
+/// Experiment scale selected via `HWS_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full paper scale: one year of Theta (37,298 jobs).
+    Full,
+    /// Default: two months at the same offered load (≈6,200 jobs).
+    Standard,
+    /// Quick smoke scale for CI (two weeks).
+    Quick,
+}
+
+impl Scale {
+    pub fn from_env() -> Scale {
+        match std::env::var("HWS_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Standard,
+        }
+    }
+
+    /// The Theta-shaped trace configuration at this scale.
+    pub fn trace_config(self) -> TraceConfig {
+        let base = TraceConfig::theta_2019();
+        match self {
+            Scale::Full => base,
+            Scale::Standard => TraceConfig {
+                horizon: SimDuration::from_days(61),
+                target_jobs: 37_298 * 61 / 365,
+                n_projects: 120,
+                ..base
+            },
+            Scale::Quick => TraceConfig {
+                horizon: SimDuration::from_days(14),
+                target_jobs: 37_298 * 14 / 365,
+                n_projects: 60,
+                ..base
+            },
+        }
+    }
+}
+
+/// Seeds per experiment cell (`HWS_SEEDS`, default 10 — "we repeat the same
+/// experiment on ten randomly generated traces").
+pub fn seeds_from_env() -> u64 {
+    std::env::var("HWS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Run `cfg` over `seeds` independently generated traces in parallel and
+/// average the metrics (the paper's averaging protocol).
+pub fn run_averaged(sim_cfg: &SimConfig, trace_cfg: &TraceConfig, seeds: u64) -> Metrics {
+    assert!(seeds > 0);
+    let metrics: Vec<Metrics> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..seeds)
+            .map(|seed| {
+                let sim_cfg = sim_cfg.clone();
+                let trace_cfg = trace_cfg.clone();
+                scope.spawn(move || {
+                    let trace = trace_cfg.generate(seed);
+                    Simulator::run_trace(&sim_cfg, &trace).metrics
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+    });
+    let mut avg = MetricsAvg::new();
+    for m in &metrics {
+        avg.push(m);
+    }
+    avg.mean()
+}
+
+/// Run every (mechanism × workload) cell of Fig. 6 and return
+/// `(workload name, mechanism, averaged metrics)` rows.
+pub fn run_fig6_grid(
+    trace_base: &TraceConfig,
+    seeds: u64,
+    mechanisms: &[Mechanism],
+) -> Vec<(&'static str, Mechanism, Metrics)> {
+    let mut rows = Vec::new();
+    for (wname, mix) in NoticeMix::TABLE3 {
+        let tcfg = trace_base.clone().with_notice_mix(mix);
+        for &m in mechanisms {
+            let scfg = SimConfig::with_mechanism(m);
+            rows.push((wname, m, run_averaged(&scfg, &tcfg, seeds)));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_to_standard() {
+        // (Environment is not set in the test harness.)
+        if std::env::var("HWS_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Standard);
+        }
+    }
+
+    #[test]
+    fn scaled_configs_preserve_system_size() {
+        for s in [Scale::Full, Scale::Standard, Scale::Quick] {
+            let c = s.trace_config();
+            assert_eq!(c.system_size, 4_392);
+            assert!(c.target_jobs > 100);
+        }
+    }
+
+    #[test]
+    fn run_averaged_is_deterministic() {
+        let tcfg = TraceConfig::tiny();
+        let scfg = SimConfig::with_mechanism(Mechanism::CUA_SPAA);
+        let a = run_averaged(&scfg, &tcfg, 2);
+        let b = run_averaged(&scfg, &tcfg, 2);
+        assert!((a.avg_turnaround_h - b.avg_turnaround_h).abs() < 1e-12);
+        assert!((a.utilization - b.utilization).abs() < 1e-12);
+    }
+}

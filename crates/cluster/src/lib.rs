@@ -1,0 +1,673 @@
+//! # hws-cluster — resource-management substrate
+//!
+//! Per-node state tracking for a machine of identical nodes (the paper's
+//! model: "an HPC system has N identical nodes", allocation at node
+//! granularity, jobs run exclusively on their nodes).
+//!
+//! The cluster knows nothing about scheduling policy; it provides the
+//! *operations* the paper's resource manager must support — allocate,
+//! release, **reserve** (for on-demand jobs given advance notice),
+//! **backfill onto reserved nodes** ("the nodes reserved for on-demand jobs
+//! can be used to backfill jobs"), **shrink/expand** (malleable jobs), and
+//! **preemption** bookkeeping — while maintaining conservation invariants
+//! that the test-suite (including property tests) checks after every
+//! operation sequence.
+//!
+//! The [`lease::LeaseLedger`] records which running jobs lent nodes to an
+//! on-demand job, so that on completion "the on-demand job will try to
+//! return its nodes to the lenders" (§III-B3).
+
+pub mod lease;
+pub mod node;
+
+pub use lease::{Lease, LeaseLedger};
+pub use node::NodeId;
+
+use hws_workload::JobId;
+use node::NodeState;
+use std::collections::HashMap;
+
+/// Outcome of releasing a job's nodes: how many went back to the general
+/// free pool and how many returned to on-demand reservations the job was
+/// squatting on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReleaseOutcome {
+    pub to_free: u32,
+    /// `(reservation holder, node count)` — nodes that were backfilled on a
+    /// reservation return to that reservation, not to the free pool.
+    pub to_reservations: Vec<(JobId, u32)>,
+}
+
+impl ReleaseOutcome {
+    pub fn total(&self) -> u32 {
+        self.to_free + self.to_reservations.iter().map(|(_, k)| *k).sum::<u32>()
+    }
+}
+
+/// The machine: `n` identical nodes with per-node state.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<NodeState>,
+    /// Stack of plain-free nodes (state `Free`).
+    free_list: Vec<NodeId>,
+    /// Running job → its nodes (both `Busy` and `ReservedBusy`).
+    alloc: HashMap<JobId, Vec<NodeId>>,
+    /// Reservation holder → idle reserved nodes (state `Reserved`).
+    reserved_idle: HashMap<JobId, Vec<NodeId>>,
+}
+
+impl Cluster {
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "cluster must have at least one node");
+        Cluster {
+            nodes: vec![NodeState::Free; n as usize],
+            free_list: (0..n).rev().map(NodeId).collect(),
+            alloc: HashMap::new(),
+            reserved_idle: HashMap::new(),
+        }
+    }
+
+    pub fn total_nodes(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Nodes in the plain free pool (not reserved, not busy).
+    pub fn free_count(&self) -> u32 {
+        self.free_list.len() as u32
+    }
+
+    /// Idle nodes reserved for `holder`.
+    pub fn reserved_idle_count(&self, holder: JobId) -> u32 {
+        self.reserved_idle.get(&holder).map_or(0, |v| v.len() as u32)
+    }
+
+    /// Idle reserved nodes across all holders.
+    pub fn total_reserved_idle(&self) -> u32 {
+        self.reserved_idle.values().map(|v| v.len() as u32).sum()
+    }
+
+    /// Number of nodes currently allocated to `job` (0 if not running).
+    pub fn size_of(&self, job: JobId) -> u32 {
+        self.alloc.get(&job).map_or(0, |v| v.len() as u32)
+    }
+
+    pub fn is_running(&self, job: JobId) -> bool {
+        self.alloc.contains_key(&job)
+    }
+
+    pub fn running_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.alloc.keys().copied()
+    }
+
+    pub fn nodes_of(&self, job: JobId) -> &[NodeId] {
+        self.alloc.get(&job).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Split a running job's allocation into (plain busy, squatted) node
+    /// counts. Squatted nodes return to their holder's reservation on
+    /// release, so only the plain part becomes free — the scheduler's
+    /// shadow projection needs the distinction.
+    pub fn split_of(&self, job: JobId) -> (u32, u32) {
+        let mut plain = 0;
+        let mut squatted = 0;
+        for id in self.nodes_of(job) {
+            match self.nodes[id.index()] {
+                NodeState::Busy { .. } => plain += 1,
+                NodeState::ReservedBusy { .. } => squatted += 1,
+                _ => unreachable!("allocated node must be busy"),
+            }
+        }
+        (plain, squatted)
+    }
+
+    /// Jobs backfilled onto `holder`'s reserved nodes, with the number of
+    /// reserved nodes each occupies.
+    pub fn squatters(&self, holder: JobId) -> Vec<(JobId, u32)> {
+        let mut counts: HashMap<JobId, u32> = HashMap::new();
+        for st in &self.nodes {
+            if let NodeState::ReservedBusy { holder: h, job } = st {
+                if *h == holder {
+                    *counts.entry(*job).or_default() += 1;
+                }
+            }
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by_key(|(j, _)| *j);
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocate `k` nodes from the plain free pool. Panics if `job` is
+    /// already running; returns `None` (allocating nothing) when the free
+    /// pool is too small.
+    pub fn allocate(&mut self, job: JobId, k: u32) -> Option<&[NodeId]> {
+        assert!(!self.alloc.contains_key(&job), "{job} already allocated");
+        assert!(k > 0, "zero-size allocation for {job}");
+        if self.free_count() < k {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            let id = self.free_list.pop().expect("free_count checked");
+            self.nodes[id.index()] = NodeState::Busy { job };
+            nodes.push(id);
+        }
+        Some(self.alloc.entry(job).or_insert(nodes))
+    }
+
+    /// Allocate `k` nodes for reservation-holder `job`, consuming its own
+    /// idle reserved nodes first and topping up from the free pool.
+    /// Any reservation remainder stays reserved (the caller decides whether
+    /// to release it). Returns `None` when even reserved+free is too small.
+    pub fn allocate_with_reserved(&mut self, job: JobId, k: u32) -> Option<&[NodeId]> {
+        assert!(!self.alloc.contains_key(&job), "{job} already allocated");
+        assert!(k > 0, "zero-size allocation for {job}");
+        let own_reserved = self.reserved_idle_count(job);
+        if own_reserved + self.free_count() < k {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(k as usize);
+        if let Some(idle) = self.reserved_idle.get_mut(&job) {
+            while nodes.len() < k as usize {
+                match idle.pop() {
+                    Some(id) => {
+                        self.nodes[id.index()] = NodeState::Busy { job };
+                        nodes.push(id);
+                    }
+                    None => break,
+                }
+            }
+            if idle.is_empty() {
+                self.reserved_idle.remove(&job);
+            }
+        }
+        while nodes.len() < k as usize {
+            let id = self.free_list.pop().expect("checked above");
+            self.nodes[id.index()] = NodeState::Busy { job };
+            nodes.push(id);
+        }
+        Some(self.alloc.entry(job).or_insert(nodes))
+    }
+
+    /// Idle reserved nodes whose holder satisfies `squat_allowed`.
+    pub fn squattable_idle(&self, mut squat_allowed: impl FnMut(JobId) -> bool) -> u32 {
+        self.reserved_idle
+            .iter()
+            .filter(|(h, _)| squat_allowed(**h))
+            .map(|(_, v)| v.len() as u32)
+            .sum()
+    }
+
+    /// Allocate `k` nodes for a backfill job, using plain free nodes first
+    /// and squatting on idle reserved nodes whose holder satisfies
+    /// `squat_allowed` (the scheduler permits squatting only on on-demand
+    /// advance-notice reservations, never on the private reservations of
+    /// preempted lenders). Returns the holders squatted on (so the scheduler
+    /// can evict the squatter when the holder arrives).
+    pub fn allocate_backfill(
+        &mut self,
+        job: JobId,
+        k: u32,
+        mut squat_allowed: impl FnMut(JobId) -> bool,
+    ) -> Option<Vec<(JobId, u32)>> {
+        assert!(!self.alloc.contains_key(&job), "{job} already allocated");
+        assert!(k > 0, "zero-size allocation for {job}");
+        let avail = self.free_count() + self.squattable_idle(&mut squat_allowed);
+        if avail < k {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(k as usize);
+        while nodes.len() < k as usize {
+            match self.free_list.pop() {
+                Some(id) => {
+                    self.nodes[id.index()] = NodeState::Busy { job };
+                    nodes.push(id);
+                }
+                None => break,
+            }
+        }
+        let mut squatted: Vec<(JobId, u32)> = Vec::new();
+        if nodes.len() < k as usize {
+            // Deterministic holder order.
+            let mut holders: Vec<JobId> = self
+                .reserved_idle
+                .keys()
+                .copied()
+                .filter(|h| squat_allowed(*h))
+                .collect();
+            holders.sort();
+            'outer: for h in holders {
+                let idle = self.reserved_idle.get_mut(&h).expect("key exists");
+                let mut taken = 0;
+                while nodes.len() < k as usize {
+                    match idle.pop() {
+                        Some(id) => {
+                            self.nodes[id.index()] = NodeState::ReservedBusy { holder: h, job };
+                            nodes.push(id);
+                            taken += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if idle.is_empty() {
+                    self.reserved_idle.remove(&h);
+                }
+                if taken > 0 {
+                    squatted.push((h, taken));
+                }
+                if nodes.len() == k as usize {
+                    break 'outer;
+                }
+            }
+        }
+        debug_assert_eq!(nodes.len(), k as usize);
+        self.alloc.insert(job, nodes);
+        Some(squatted)
+    }
+
+    /// Release all of `job`'s nodes. Plain nodes go to the free pool;
+    /// squatted nodes return to their holder's reservation.
+    pub fn release(&mut self, job: JobId) -> ReleaseOutcome {
+        let nodes = self.alloc.remove(&job).unwrap_or_default();
+        let mut out = ReleaseOutcome::default();
+        for id in nodes {
+            match self.nodes[id.index()] {
+                NodeState::Busy { job: j } => {
+                    debug_assert_eq!(j, job);
+                    self.nodes[id.index()] = NodeState::Free;
+                    self.free_list.push(id);
+                    out.to_free += 1;
+                }
+                NodeState::ReservedBusy { holder, job: j } => {
+                    debug_assert_eq!(j, job);
+                    self.nodes[id.index()] = NodeState::Reserved { holder };
+                    self.reserved_idle.entry(holder).or_default().push(id);
+                    match out.to_reservations.iter_mut().find(|(h, _)| *h == holder) {
+                        Some((_, k)) => *k += 1,
+                        None => out.to_reservations.push((holder, 1)),
+                    }
+                }
+                ref st => unreachable!("released node in state {st:?}"),
+            }
+        }
+        out
+    }
+
+    /// Remove `k` nodes from a running job (malleable shrink). Surrenders
+    /// plain nodes first: SPAA shrinks feed the arriving on-demand job via
+    /// the free pool, while squatted nodes would leak to their reservation
+    /// holders instead. Panics if the job would drop below one node.
+    pub fn shrink(&mut self, job: JobId, k: u32) -> ReleaseOutcome {
+        let nodes = self.alloc.get_mut(&job).expect("shrink of non-running job");
+        assert!(
+            (nodes.len() as u32) > k,
+            "shrink would leave {job} with no nodes"
+        );
+        // Partition so plain nodes are surrendered first.
+        let states = &self.nodes;
+        nodes.sort_by_key(|id| match states[id.index()] {
+            NodeState::ReservedBusy { .. } => 1,
+            _ => 0,
+        });
+        let mut out = ReleaseOutcome::default();
+        for _ in 0..k {
+            let id = nodes.remove(0);
+            match self.nodes[id.index()] {
+                NodeState::Busy { .. } => {
+                    self.nodes[id.index()] = NodeState::Free;
+                    self.free_list.push(id);
+                    out.to_free += 1;
+                }
+                NodeState::ReservedBusy { holder, .. } => {
+                    self.nodes[id.index()] = NodeState::Reserved { holder };
+                    self.reserved_idle.entry(holder).or_default().push(id);
+                    match out.to_reservations.iter_mut().find(|(h, _)| *h == holder) {
+                        Some((_, c)) => *c += 1,
+                        None => out.to_reservations.push((holder, 1)),
+                    }
+                }
+                ref st => unreachable!("shrunk node in state {st:?}"),
+            }
+        }
+        out
+    }
+
+    /// Add up to `k` free nodes to a running job (malleable expand).
+    /// Returns how many nodes were actually added.
+    pub fn expand(&mut self, job: JobId, k: u32) -> u32 {
+        assert!(self.alloc.contains_key(&job), "expand of non-running job");
+        let take = k.min(self.free_count());
+        for _ in 0..take {
+            let id = self.free_list.pop().expect("bounded by free_count");
+            self.nodes[id.index()] = NodeState::Busy { job };
+            self.alloc.get_mut(&job).expect("checked").push(id);
+        }
+        take
+    }
+
+    // ------------------------------------------------------------------
+    // Reservations
+    // ------------------------------------------------------------------
+
+    /// Move up to `k` free nodes into `holder`'s reservation. Returns how
+    /// many were reserved.
+    pub fn reserve(&mut self, holder: JobId, k: u32) -> u32 {
+        let take = k.min(self.free_count());
+        if take == 0 {
+            return 0;
+        }
+        let idle = self.reserved_idle.entry(holder).or_default();
+        for _ in 0..take {
+            let id = self.free_list.pop().expect("bounded by free_count");
+            self.nodes[id.index()] = NodeState::Reserved { holder };
+            idle.push(id);
+        }
+        take
+    }
+
+    /// Move up to `k` idle reserved nodes from `from`'s reservation to
+    /// `to`'s. Used when an arrived on-demand job outranks a reservation
+    /// held for a merely-predicted one. Returns the number transferred.
+    pub fn transfer_reserved(&mut self, from: JobId, to: JobId, k: u32) -> u32 {
+        if from == to || k == 0 {
+            return 0;
+        }
+        let Some(src) = self.reserved_idle.get_mut(&from) else {
+            return 0;
+        };
+        let take = (k as usize).min(src.len());
+        let moved: Vec<NodeId> = src.split_off(src.len() - take);
+        if src.is_empty() {
+            self.reserved_idle.remove(&from);
+        }
+        for id in &moved {
+            self.nodes[id.index()] = NodeState::Reserved { holder: to };
+        }
+        self.reserved_idle.entry(to).or_default().extend(moved);
+        take as u32
+    }
+
+    /// Drop `holder`'s reservation: idle reserved nodes go back to the free
+    /// pool, squatters keep running on plain `Busy` nodes. Returns how many
+    /// idle nodes were freed.
+    pub fn release_reservation(&mut self, holder: JobId) -> u32 {
+        let mut freed = 0;
+        if let Some(idle) = self.reserved_idle.remove(&holder) {
+            for id in idle {
+                self.nodes[id.index()] = NodeState::Free;
+                self.free_list.push(id);
+                freed += 1;
+            }
+        }
+        for st in self.nodes.iter_mut() {
+            if let NodeState::ReservedBusy { holder: h, job } = *st {
+                if h == holder {
+                    *st = NodeState::Busy { job };
+                }
+            }
+        }
+        freed
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants
+    // ------------------------------------------------------------------
+
+    /// Full-scan consistency check; O(nodes + jobs). Used by tests and the
+    /// simulator's debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut busy = 0u32;
+        let mut reserved = 0u32;
+        for (i, st) in self.nodes.iter().enumerate() {
+            match st {
+                NodeState::Free => {}
+                NodeState::Busy { job } | NodeState::ReservedBusy { job, .. } => {
+                    busy += 1;
+                    let nodes = self
+                        .alloc
+                        .get(job)
+                        .ok_or_else(|| format!("node {i} busy for unallocated {job}"))?;
+                    if !nodes.contains(&NodeId(i as u32)) {
+                        return Err(format!("node {i} not in {job}'s allocation list"));
+                    }
+                }
+                NodeState::Reserved { holder } => {
+                    reserved += 1;
+                    let idle = self
+                        .reserved_idle
+                        .get(holder)
+                        .ok_or_else(|| format!("node {i} reserved for untracked {holder}"))?;
+                    if !idle.contains(&NodeId(i as u32)) {
+                        return Err(format!("node {i} missing from {holder}'s idle list"));
+                    }
+                }
+            }
+        }
+        let free = self.free_list.len() as u32;
+        if free + busy + reserved != self.total_nodes() {
+            return Err(format!(
+                "conservation violated: {free} free + {busy} busy + {reserved} reserved != {}",
+                self.total_nodes()
+            ));
+        }
+        let alloc_total: usize = self.alloc.values().map(|v| v.len()).sum();
+        if alloc_total as u32 != busy {
+            return Err(format!("alloc index ({alloc_total}) != busy nodes ({busy})"));
+        }
+        for id in &self.free_list {
+            if self.nodes[id.index()] != NodeState::Free {
+                return Err(format!("free-list node {id} not Free"));
+            }
+        }
+        for (h, idle) in &self.reserved_idle {
+            for id in idle {
+                if self.nodes[id.index()] != (NodeState::Reserved { holder: *h }) {
+                    return Err(format!("idle-reserved node {id} not Reserved for {h}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(n: u64) -> JobId {
+        JobId(n)
+    }
+
+    fn checked(c: &Cluster) {
+        c.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn new_cluster_all_free() {
+        let c = Cluster::new(16);
+        assert_eq!(c.free_count(), 16);
+        assert_eq!(c.total_nodes(), 16);
+        checked(&c);
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut c = Cluster::new(10);
+        assert_eq!(c.allocate(j(1), 4).map(|n| n.len()), Some(4));
+        assert_eq!(c.free_count(), 6);
+        assert_eq!(c.size_of(j(1)), 4);
+        assert!(c.is_running(j(1)));
+        checked(&c);
+        let out = c.release(j(1));
+        assert_eq!(out.to_free, 4);
+        assert!(out.to_reservations.is_empty());
+        assert_eq!(c.free_count(), 10);
+        checked(&c);
+    }
+
+    #[test]
+    fn allocate_refuses_oversubscription() {
+        let mut c = Cluster::new(4);
+        assert!(c.allocate(j(1), 5).is_none());
+        assert_eq!(c.free_count(), 4);
+        checked(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn double_allocate_panics() {
+        let mut c = Cluster::new(8);
+        c.allocate(j(1), 2);
+        c.allocate(j(1), 2);
+    }
+
+    #[test]
+    fn reserve_takes_from_free_pool() {
+        let mut c = Cluster::new(10);
+        assert_eq!(c.reserve(j(9), 6), 6);
+        assert_eq!(c.free_count(), 4);
+        assert_eq!(c.reserved_idle_count(j(9)), 6);
+        assert_eq!(c.total_reserved_idle(), 6);
+        checked(&c);
+        // Partial when free pool is short.
+        assert_eq!(c.reserve(j(8), 10), 4);
+        assert_eq!(c.free_count(), 0);
+        checked(&c);
+    }
+
+    #[test]
+    fn allocate_with_reserved_prefers_own_reservation() {
+        let mut c = Cluster::new(10);
+        c.reserve(j(9), 4);
+        assert_eq!(c.allocate_with_reserved(j(9), 6).map(|n| n.len()), Some(6));
+        assert_eq!(c.reserved_idle_count(j(9)), 0);
+        assert_eq!(c.free_count(), 4);
+        checked(&c);
+    }
+
+    #[test]
+    fn allocate_with_reserved_leaves_remainder_reserved() {
+        let mut c = Cluster::new(10);
+        c.reserve(j(9), 5);
+        assert_eq!(c.allocate_with_reserved(j(9), 3).map(|n| n.len()), Some(3));
+        assert_eq!(c.reserved_idle_count(j(9)), 2);
+        checked(&c);
+    }
+
+    #[test]
+    fn backfill_squats_on_reserved_nodes() {
+        let mut c = Cluster::new(10);
+        c.allocate(j(1), 5);
+        c.reserve(j(9), 5);
+        assert_eq!(c.free_count(), 0);
+        // Without reserved access there is no room.
+        assert!(c.allocate_backfill(j(2), 3, |_| false).is_none());
+        let squat = c.allocate_backfill(j(2), 3, |_| true).expect("fits on reserved");
+        assert_eq!(squat, vec![(j(9), 3)]);
+        assert_eq!(c.reserved_idle_count(j(9)), 2);
+        assert_eq!(c.squatters(j(9)), vec![(j(2), 3)]);
+        checked(&c);
+        // Releasing the squatter returns nodes to the reservation.
+        let out = c.release(j(2));
+        assert_eq!(out.to_free, 0);
+        assert_eq!(out.to_reservations, vec![(j(9), 3)]);
+        assert_eq!(c.reserved_idle_count(j(9)), 5);
+        checked(&c);
+    }
+
+    #[test]
+    fn backfill_uses_free_nodes_first() {
+        let mut c = Cluster::new(10);
+        c.reserve(j(9), 4);
+        let squat = c.allocate_backfill(j(2), 7, |_| true).expect("fits");
+        // 6 free + 1 reserved.
+        assert_eq!(squat, vec![(j(9), 1)]);
+        assert_eq!(c.free_count(), 0);
+        assert_eq!(c.reserved_idle_count(j(9)), 3);
+        checked(&c);
+    }
+
+    #[test]
+    fn release_reservation_unsquats() {
+        let mut c = Cluster::new(8);
+        c.reserve(j(9), 5);
+        c.allocate_backfill(j(2), 4, |_| true).expect("fits"); // 3 free + 1 reserved
+        let freed = c.release_reservation(j(9));
+        assert_eq!(freed, 4);
+        assert_eq!(c.free_count(), 4);
+        assert_eq!(c.reserved_idle_count(j(9)), 0);
+        // Squatter now on plain busy nodes.
+        let out = c.release(j(2));
+        assert_eq!(out.to_free, 4);
+        checked(&c);
+    }
+
+    #[test]
+    fn shrink_prefers_plain_nodes() {
+        let mut c = Cluster::new(10);
+        c.allocate(j(1), 4);
+        c.reserve(j(9), 2);
+        c.allocate_backfill(j(2), 6, |_| true).expect("fits"); // 4 free + 2 reserved
+        // Shrinking by 3 surrenders plain nodes only.
+        let out = c.shrink(j(2), 3);
+        assert_eq!(out.to_free, 3);
+        assert!(out.to_reservations.is_empty());
+        assert_eq!(c.size_of(j(2)), 3);
+        checked(&c);
+        // Shrinking past the plain supply surrenders squatted nodes too.
+        let out = c.shrink(j(2), 2);
+        assert_eq!(out.to_free, 1);
+        assert_eq!(out.to_reservations, vec![(j(9), 1)]);
+        checked(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn shrink_to_zero_panics() {
+        let mut c = Cluster::new(4);
+        c.allocate(j(1), 2);
+        c.shrink(j(1), 2);
+    }
+
+    #[test]
+    fn expand_takes_free_nodes() {
+        let mut c = Cluster::new(10);
+        c.allocate(j(1), 3);
+        assert_eq!(c.expand(j(1), 4), 4);
+        assert_eq!(c.size_of(j(1)), 7);
+        assert_eq!(c.expand(j(1), 10), 3); // only 3 left
+        assert_eq!(c.size_of(j(1)), 10);
+        checked(&c);
+    }
+
+    #[test]
+    fn multi_holder_backfill_is_deterministic() {
+        let mut c = Cluster::new(12);
+        c.reserve(j(20), 4);
+        c.reserve(j(10), 4);
+        // 4 free + need 8 → squats on holders in id order: j(10) then j(20).
+        let squat = c.allocate_backfill(j(2), 10, |_| true).expect("fits");
+        assert_eq!(squat, vec![(j(10), 4), (j(20), 2)]);
+        checked(&c);
+    }
+
+    #[test]
+    fn release_outcome_total() {
+        let mut c = Cluster::new(8);
+        c.reserve(j(9), 2);
+        c.allocate_backfill(j(2), 5, |_| true).expect("fits");
+        let out = c.release(j(2));
+        assert_eq!(out.total(), 5);
+    }
+
+    #[test]
+    fn release_of_unknown_job_is_empty() {
+        let mut c = Cluster::new(4);
+        let out = c.release(j(42));
+        assert_eq!(out, ReleaseOutcome::default());
+        checked(&c);
+    }
+}

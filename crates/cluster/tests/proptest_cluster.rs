@@ -1,0 +1,123 @@
+//! Property tests: arbitrary operation sequences never violate the
+//! cluster's conservation invariants, and node accounting is exact.
+
+use hws_cluster::Cluster;
+use hws_workload::JobId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate { job: u64, k: u32 },
+    AllocateWithReserved { job: u64, k: u32 },
+    Backfill { job: u64, k: u32, use_reserved: bool },
+    Release { job: u64 },
+    Shrink { job: u64, k: u32 },
+    Expand { job: u64, k: u32 },
+    Reserve { holder: u64, k: u32 },
+    ReleaseReservation { holder: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..24u64, 1..16u32).prop_map(|(job, k)| Op::Allocate { job, k }),
+        (0..24u64, 1..16u32).prop_map(|(job, k)| Op::AllocateWithReserved { job, k }),
+        (0..24u64, 1..16u32, any::<bool>())
+            .prop_map(|(job, k, use_reserved)| Op::Backfill { job, k, use_reserved }),
+        (0..24u64).prop_map(|job| Op::Release { job }),
+        (0..24u64, 1..8u32).prop_map(|(job, k)| Op::Shrink { job, k }),
+        (0..24u64, 1..8u32).prop_map(|(job, k)| Op::Expand { job, k }),
+        (24..32u64, 1..16u32).prop_map(|(holder, k)| Op::Reserve { holder, k }),
+        (24..32u64).prop_map(|holder| Op::ReleaseReservation { holder }),
+    ]
+}
+
+fn apply(c: &mut Cluster, op: &Op) {
+    match *op {
+        Op::Allocate { job, k } => {
+            if !c.is_running(JobId(job)) {
+                let _ = c.allocate(JobId(job), k);
+            }
+        }
+        Op::AllocateWithReserved { job, k } => {
+            if !c.is_running(JobId(job)) {
+                let _ = c.allocate_with_reserved(JobId(job), k);
+            }
+        }
+        Op::Backfill { job, k, use_reserved } => {
+            if !c.is_running(JobId(job)) {
+                let _ = c.allocate_backfill(JobId(job), k, |_| use_reserved);
+            }
+        }
+        Op::Release { job } => {
+            let _ = c.release(JobId(job));
+        }
+        Op::Shrink { job, k } => {
+            if c.size_of(JobId(job)) > k {
+                let _ = c.shrink(JobId(job), k);
+            }
+        }
+        Op::Expand { job, k } => {
+            if c.is_running(JobId(job)) {
+                let _ = c.expand(JobId(job), k);
+            }
+        }
+        Op::Reserve { holder, k } => {
+            let _ = c.reserve(JobId(holder), k);
+        }
+        Op::ReleaseReservation { holder } => {
+            let _ = c.release_reservation(JobId(holder));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_op_sequences(
+        n in 8..64u32,
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut c = Cluster::new(n);
+        for op in &ops {
+            apply(&mut c, op);
+            prop_assert_eq!(c.check_invariants(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn releasing_everything_restores_full_capacity(
+        n in 8..64u32,
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut c = Cluster::new(n);
+        for op in &ops {
+            apply(&mut c, op);
+        }
+        let running: Vec<JobId> = c.running_jobs().collect();
+        for job in running {
+            c.release(job);
+        }
+        for holder in (0..64).map(JobId) {
+            c.release_reservation(holder);
+        }
+        prop_assert_eq!(c.free_count(), n);
+        prop_assert_eq!(c.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn allocation_sizes_are_exact(
+        n in 8..64u32,
+        sizes in proptest::collection::vec(1..10u32, 1..10),
+    ) {
+        let mut c = Cluster::new(n);
+        let mut allocated = 0u32;
+        for (i, &k) in sizes.iter().enumerate() {
+            if let Some(nodes) = c.allocate(JobId(i as u64), k) {
+                prop_assert_eq!(nodes.len() as u32, k);
+                allocated += k;
+            }
+            prop_assert_eq!(c.free_count(), n - allocated);
+        }
+    }
+}

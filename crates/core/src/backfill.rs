@@ -1,0 +1,119 @@
+//! EASY backfilling (Mu'alem & Feitelson): the head of the queue gets a
+//! *shadow* reservation at the earliest instant enough nodes will be free;
+//! later jobs may jump ahead iff they either finish before the shadow time
+//! or fit into the nodes the head job will not need ("extra" nodes).
+
+use hws_sim::SimTime;
+
+/// The head job's reservation: when it is expected to start, and how many
+/// nodes beyond its requirement remain usable by backfill until then.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shadow {
+    /// Earliest instant the head job is expected to have enough nodes.
+    /// `SimTime::MAX` when the projection never accumulates enough (e.g.
+    /// nodes locked in other reservations).
+    pub time: SimTime,
+    /// Nodes free at the shadow instant beyond the head job's need —
+    /// backfill jobs no larger than this cannot delay the head job even if
+    /// they run forever.
+    pub extra: u32,
+}
+
+/// Compute the head job's shadow from the projected releases of running
+/// jobs. `releases` is a list of `(expected_end, nodes_returning_to_free)`
+/// — squatters returning to foreign reservations are excluded by the
+/// caller. `avail_now` counts nodes the head job could use immediately.
+pub fn compute_shadow(releases: &mut [(SimTime, u32)], avail_now: u32, need: u32) -> Shadow {
+    if avail_now >= need {
+        return Shadow {
+            time: SimTime::ZERO,
+            extra: avail_now - need,
+        };
+    }
+    releases.sort_by_key(|&(t, n)| (t, n));
+    let mut have = avail_now;
+    for &(end, nodes) in releases.iter() {
+        have += nodes;
+        if have >= need {
+            return Shadow {
+                time: end,
+                extra: have - need,
+            };
+        }
+    }
+    Shadow {
+        time: SimTime::MAX,
+        extra: avail_now,
+    }
+}
+
+/// EASY admission test for one backfill candidate: the candidate (needing
+/// `size` nodes and expected to run until `expected_end`) may start iff it
+/// fits in `avail_now` nodes and either completes before the shadow or uses
+/// no more than the shadow's extra nodes.
+pub fn may_backfill(size: u32, expected_end: SimTime, avail_now: u32, shadow: Shadow) -> bool {
+    size <= avail_now && (expected_end <= shadow.time || size <= shadow.extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn shadow_now_when_head_fits() {
+        let s = compute_shadow(&mut vec![(t(100), 4)], 10, 8);
+        assert_eq!(s.time, SimTime::ZERO);
+        assert_eq!(s.extra, 2);
+    }
+
+    #[test]
+    fn shadow_at_first_sufficient_release() {
+        let mut rel = vec![(t(300), 4), (t(100), 2), (t(200), 3)];
+        // avail 1, need 6: after t=100 have 3, after t=200 have 6 → shadow.
+        let s = compute_shadow(&mut rel, 1, 6);
+        assert_eq!(s.time, t(200));
+        assert_eq!(s.extra, 0);
+    }
+
+    #[test]
+    fn shadow_extra_counts_overshoot() {
+        let mut rel = vec![(t(100), 10)];
+        let s = compute_shadow(&mut rel, 2, 5);
+        assert_eq!(s.time, t(100));
+        assert_eq!(s.extra, 7);
+    }
+
+    #[test]
+    fn shadow_unreachable() {
+        let mut rel = vec![(t(100), 1)];
+        let s = compute_shadow(&mut rel, 2, 10);
+        assert_eq!(s.time, SimTime::MAX);
+        assert_eq!(s.extra, 2);
+    }
+
+    #[test]
+    fn backfill_admission_by_time() {
+        let shadow = Shadow { time: t(1_000), extra: 0 };
+        assert!(may_backfill(4, t(900), 5, shadow));
+        assert!(may_backfill(4, t(1_000), 5, shadow)); // boundary allowed
+        assert!(!may_backfill(4, t(1_001), 5, shadow));
+    }
+
+    #[test]
+    fn backfill_admission_by_extra_nodes() {
+        let shadow = Shadow { time: t(1_000), extra: 4 };
+        // Runs past the shadow but fits in the extra nodes.
+        assert!(may_backfill(4, t(99_999), 5, shadow));
+        assert!(!may_backfill(5, t(99_999), 5, shadow));
+    }
+
+    #[test]
+    fn backfill_requires_current_fit() {
+        let shadow = Shadow { time: SimTime::MAX, extra: 100 };
+        assert!(!may_backfill(6, t(10), 5, shadow));
+    }
+}

@@ -1,0 +1,194 @@
+//! Checkpoint model for rigid jobs.
+//!
+//! The paper (§IV-B): "We assume rigid jobs make regular checkpoints at the
+//! optimal frequency defined by Daly. [...] we set each checkpointing
+//! overhead to 600 seconds if the job used less than 1K nodes; otherwise, we
+//! set it to 1200 seconds." Fig. 7 then sweeps *multiples* of the Daly
+//! interval ("50% means rigid jobs makes checkpoints twice as frequent as
+//! the optimal checkpointing frequency").
+//!
+//! Daly's optimum needs a mean-time-between-failures. The paper does not
+//! publish Theta's MTBF, so it is a configurable parameter here (default:
+//! one node-year, a reasonable figure for the KNL era; only the *relative*
+//! Fig. 7 sweep matters for reproduction — see DESIGN.md §4).
+
+use hws_sim::SimDuration;
+
+/// Checkpointing configuration for rigid jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CkptConfig {
+    /// Mean time between failures of a single node, in hours. The job-level
+    /// MTBF is `node_mtbf_hours / size`.
+    pub node_mtbf_hours: f64,
+    /// Multiplier on the Daly-optimal interval. `1.0` = Daly optimum;
+    /// `0.5` = checkpoints twice as frequent (the paper's "50 %").
+    pub interval_factor: f64,
+    /// Checkpoint cost for jobs under `large_threshold` nodes (§IV-B: 600 s).
+    pub cost_small: SimDuration,
+    /// Checkpoint cost for jobs at or above `large_threshold` (§IV-B: 1200 s).
+    pub cost_large: SimDuration,
+    /// Size boundary between the two costs (§IV-B: "1K nodes").
+    pub large_threshold: u32,
+    /// Disable checkpointing entirely (ablation).
+    pub enabled: bool,
+    /// Whether checkpoints extend the job's wall time. The paper replays
+    /// *recorded* runtimes (which already contain whatever checkpointing
+    /// the real jobs did), so its checkpoint model only sets the rollback
+    /// anchor on preemption — that is the default here (`false`). Setting
+    /// `true` switches to the physical model where every checkpoint
+    /// occupies the nodes for its full cost δ (ablation 6).
+    pub extends_walltime: bool,
+}
+
+impl Default for CkptConfig {
+    fn default() -> Self {
+        CkptConfig {
+            node_mtbf_hours: 24.0 * 365.0,
+            interval_factor: 1.0,
+            cost_small: SimDuration::from_secs(600),
+            cost_large: SimDuration::from_secs(1_200),
+            large_threshold: 1_024,
+            enabled: true,
+            extends_walltime: false,
+        }
+    }
+}
+
+impl CkptConfig {
+    /// Checkpoint cost δ for a job of `size` nodes.
+    pub fn cost(&self, size: u32) -> SimDuration {
+        if size >= self.large_threshold {
+            self.cost_large
+        } else {
+            self.cost_small
+        }
+    }
+
+    /// Checkpoint interval τ for a job of `size` nodes: the Daly optimum
+    /// for (δ(size), M = node_mtbf/size) scaled by `interval_factor`.
+    /// Returns `None` when checkpointing is disabled.
+    pub fn interval(&self, size: u32) -> Option<SimDuration> {
+        if !self.enabled || size == 0 {
+            return None;
+        }
+        let delta = self.cost(size).as_secs() as f64;
+        let mtbf = self.node_mtbf_hours * 3_600.0 / size as f64;
+        let tau = daly_higher_order(delta, mtbf) * self.interval_factor;
+        // Never checkpoint more often than the checkpoint itself takes.
+        Some(SimDuration::from_secs((tau.max(delta)).round() as u64))
+    }
+
+    pub fn with_factor(mut self, f: f64) -> Self {
+        assert!(f > 0.0);
+        self.interval_factor = f;
+        self
+    }
+
+    pub fn disabled() -> Self {
+        CkptConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// The δ that enters the run timeline: the full cost in the physical
+    /// model, zero in the paper's replay model (checkpoints are already
+    /// inside the recorded runtime; only the rollback anchor matters).
+    pub fn timeline_cost(&self, size: u32) -> SimDuration {
+        if self.extends_walltime {
+            self.cost(size)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+/// Daly's first-order optimum: `sqrt(2 δ M) − δ` (valid for δ ≪ M).
+pub fn daly_first_order(delta: f64, mtbf: f64) -> f64 {
+    assert!(delta > 0.0 && mtbf > 0.0);
+    (2.0 * delta * mtbf).sqrt() - delta
+}
+
+/// Daly's higher-order optimum (Daly 2006, eq. 20):
+/// `τ = sqrt(2δM)·[1 + (1/3)·sqrt(δ/2M) + (1/9)·(δ/2M)] − δ` for δ < 2M,
+/// and `τ = M` otherwise.
+pub fn daly_higher_order(delta: f64, mtbf: f64) -> f64 {
+    assert!(delta > 0.0 && mtbf > 0.0);
+    if delta >= 2.0 * mtbf {
+        return mtbf;
+    }
+    let x = delta / (2.0 * mtbf);
+    (2.0 * delta * mtbf).sqrt() * (1.0 + x.sqrt() / 3.0 + x / 9.0) - delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_matches_formula() {
+        // δ = 600 s, M = 10 h = 36000 s → sqrt(2*600*36000) = 6573 s.
+        let tau = daly_first_order(600.0, 36_000.0);
+        assert!((tau - (6_572.67 - 600.0)).abs() < 1.0, "{tau}");
+    }
+
+    #[test]
+    fn higher_order_exceeds_first_order() {
+        // The correction terms are positive.
+        let (d, m) = (600.0, 36_000.0);
+        assert!(daly_higher_order(d, m) > daly_first_order(d, m));
+    }
+
+    #[test]
+    fn higher_order_clamps_to_mtbf_for_huge_delta() {
+        assert_eq!(daly_higher_order(100.0, 40.0), 40.0);
+    }
+
+    #[test]
+    fn cost_switches_at_1k_nodes() {
+        let c = CkptConfig::default();
+        assert_eq!(c.cost(512), SimDuration::from_secs(600));
+        assert_eq!(c.cost(1_024), SimDuration::from_secs(1_200));
+        assert_eq!(c.cost(4_096), SimDuration::from_secs(1_200));
+    }
+
+    #[test]
+    fn interval_shrinks_with_job_size() {
+        // Bigger jobs fail more often → checkpoint more frequently.
+        let c = CkptConfig::default();
+        let small = c.interval(128).unwrap();
+        let large = c.interval(512).unwrap();
+        assert!(large < small, "{large} !< {small}");
+    }
+
+    #[test]
+    fn interval_factor_scales() {
+        let base = CkptConfig::default();
+        let twice = CkptConfig::default().with_factor(0.5);
+        let i1 = base.interval(256).unwrap().as_secs() as f64;
+        let i2 = twice.interval(256).unwrap().as_secs() as f64;
+        assert!((i2 / i1 - 0.5).abs() < 0.05, "{i2} vs {i1}");
+    }
+
+    #[test]
+    fn interval_never_below_cost() {
+        // Extremely aggressive factor still leaves τ ≥ δ.
+        let c = CkptConfig::default().with_factor(0.0001);
+        let tau = c.interval(2_048).unwrap();
+        assert!(tau >= c.cost(2_048));
+    }
+
+    #[test]
+    fn disabled_config_yields_none() {
+        assert_eq!(CkptConfig::disabled().interval(128), None);
+    }
+
+    #[test]
+    fn theta_scale_interval_is_hours() {
+        // A 512-node job with 1-node-year MTBF: M ≈ 17.1 h, δ = 600 s →
+        // τ ≈ sqrt(2·600·61594) ≈ 8.6 kscale seconds — order of 2-2.5 h.
+        let c = CkptConfig::default();
+        let tau = c.interval(512).unwrap().as_secs();
+        assert!((5_000..15_000).contains(&tau), "{tau}");
+    }
+}

@@ -1,0 +1,335 @@
+//! Raw per-job and system-level measurements, populated by the simulation
+//! driver through narrow callbacks.
+
+use hws_sim::{SimDuration, SimTime};
+use hws_workload::{JobId, JobKind, NoticeCategory};
+use std::collections::HashMap;
+
+/// Everything measured about one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    pub kind: JobKind,
+    /// Requested size (the maximum for malleable jobs).
+    pub size: u32,
+    pub submit: SimTime,
+    pub first_start: Option<SimTime>,
+    pub finish: Option<SimTime>,
+    /// Times this job was preempted (kills for rigid, warnings for
+    /// malleable, squatter evictions included).
+    pub preemptions: u32,
+    /// Shrink operations applied while running.
+    pub shrinks: u32,
+    /// Expand operations applied while running.
+    pub expands: u32,
+    /// For on-demand jobs: `first_start - submit`.
+    pub start_delay: Option<SimDuration>,
+    /// Advance-notice category (meaningful for on-demand jobs).
+    pub category: NoticeCategory,
+    /// True when the job exceeded its runtime estimate and was killed.
+    pub killed: bool,
+    /// Node failures this job absorbed (failure-injection extension).
+    pub failures: u32,
+}
+
+impl JobRecord {
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        self.finish.map(|f| f.since(self.submit))
+    }
+
+    /// Queueing delay before the first start.
+    pub fn wait(&self) -> Option<SimDuration> {
+        self.first_start.map(|s| s.since(self.submit))
+    }
+
+    /// Bounded slowdown with the conventional 10-second runtime floor:
+    /// `max(turnaround / max(runtime, 10 s), 1)`.
+    pub fn bounded_slowdown(&self) -> Option<f64> {
+        let tat = self.turnaround()?.as_secs() as f64;
+        let run = self
+            .finish?
+            .since(self.first_start?)
+            .as_secs()
+            .max(10) as f64;
+        Some((tat / run).max(1.0))
+    }
+
+    pub fn completed(&self) -> bool {
+        self.finish.is_some() && !self.killed
+    }
+}
+
+/// Collects measurements during one simulation run.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    pub system_size: u32,
+    records: HashMap<JobId, JobRecord>,
+    /// Node-seconds any job occupied (work + setup + checkpoint + drain).
+    occupied_node_seconds: u128,
+    /// Node-seconds of computation discarded because of preemption.
+    wasted_node_seconds: u128,
+    first_submit: Option<SimTime>,
+    last_finish: Option<SimTime>,
+    /// Wall-clock cost of each scheduler decision (Observation 10).
+    decision_nanos: Vec<u64>,
+}
+
+impl Recorder {
+    pub fn new(system_size: u32) -> Self {
+        Recorder {
+            system_size,
+            records: HashMap::new(),
+            occupied_node_seconds: 0,
+            wasted_node_seconds: 0,
+            first_submit: None,
+            last_finish: None,
+            decision_nanos: Vec::new(),
+        }
+    }
+
+    pub fn job_submitted(&mut self, id: JobId, kind: JobKind, size: u32, t: SimTime) {
+        self.job_submitted_with_category(id, kind, size, t, NoticeCategory::NoNotice);
+    }
+
+    pub fn job_submitted_with_category(
+        &mut self,
+        id: JobId,
+        kind: JobKind,
+        size: u32,
+        t: SimTime,
+        category: NoticeCategory,
+    ) {
+        self.first_submit = Some(self.first_submit.map_or(t, |f| f.min(t)));
+        self.records.entry(id).or_insert(JobRecord {
+            kind,
+            size,
+            submit: t,
+            first_start: None,
+            finish: None,
+            preemptions: 0,
+            shrinks: 0,
+            expands: 0,
+            start_delay: None,
+            category,
+            killed: false,
+            failures: 0,
+        });
+    }
+
+    pub fn job_failed(&mut self, id: JobId) {
+        self.rec(id).failures += 1;
+    }
+
+    pub fn job_started(&mut self, id: JobId, t: SimTime) {
+        let r = self.rec(id);
+        if r.first_start.is_none() {
+            r.first_start = Some(t);
+            let delay = t.since(r.submit);
+            if r.kind == JobKind::OnDemand {
+                r.start_delay = Some(delay);
+            }
+        }
+    }
+
+    pub fn job_preempted(&mut self, id: JobId) {
+        self.rec(id).preemptions += 1;
+    }
+
+    pub fn job_shrunk(&mut self, id: JobId) {
+        self.rec(id).shrinks += 1;
+    }
+
+    pub fn job_expanded(&mut self, id: JobId) {
+        self.rec(id).expands += 1;
+    }
+
+    pub fn job_finished(&mut self, id: JobId, t: SimTime) {
+        self.rec(id).finish = Some(t);
+        self.last_finish = Some(self.last_finish.map_or(t, |f| f.max(t)));
+    }
+
+    pub fn job_killed(&mut self, id: JobId, t: SimTime) {
+        let r = self.rec(id);
+        r.finish = Some(t);
+        r.killed = true;
+        self.last_finish = Some(self.last_finish.map_or(t, |f| f.max(t)));
+    }
+
+    /// Account `nodes × dur` of node occupancy.
+    pub fn add_occupancy(&mut self, nodes: u32, dur: SimDuration) {
+        self.occupied_node_seconds += u128::from(nodes) * u128::from(dur.as_secs());
+    }
+
+    /// Account computation discarded due to preemption.
+    pub fn add_waste(&mut self, nodes: u32, dur: SimDuration) {
+        self.wasted_node_seconds += u128::from(nodes) * u128::from(dur.as_secs());
+    }
+
+    /// Record the wall-clock cost of one mechanism decision.
+    pub fn add_decision(&mut self, elapsed: std::time::Duration) {
+        self.decision_nanos.push(elapsed.as_nanos() as u64);
+    }
+
+    fn rec(&mut self, id: JobId) -> &mut JobRecord {
+        self.records.get_mut(&id).unwrap_or_else(|| panic!("{id} was never submitted"))
+    }
+
+    pub fn get(&self, id: JobId) -> Option<&JobRecord> {
+        self.records.get(&id)
+    }
+
+    pub fn records(&self) -> impl Iterator<Item = (&JobId, &JobRecord)> {
+        self.records.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn occupied_node_seconds(&self) -> u128 {
+        self.occupied_node_seconds
+    }
+
+    pub fn wasted_node_seconds(&self) -> u128 {
+        self.wasted_node_seconds
+    }
+
+    pub fn span(&self) -> Option<(SimTime, SimTime)> {
+        Some((self.first_submit?, self.last_finish?))
+    }
+
+    pub fn decision_nanos(&self) -> &[u64] {
+        &self.decision_nanos
+    }
+
+    /// Export one CSV row per job (sorted by id) for external analysis.
+    pub fn jobs_csv(&self) -> String {
+        let mut rows: Vec<(&JobId, &JobRecord)> = self.records.iter().collect();
+        rows.sort_by_key(|(id, _)| **id);
+        let mut out = String::from(
+            "id,kind,category,size,submit,first_start,finish,wait_s,turnaround_s,\
+preemptions,shrinks,expands,failures,killed\n",
+        );
+        for (id, r) in rows {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                id.0,
+                r.kind.label(),
+                r.category.label(),
+                r.size,
+                r.submit.as_secs(),
+                r.first_start.map_or(String::new(), |t| t.as_secs().to_string()),
+                r.finish.map_or(String::new(), |t| t.as_secs().to_string()),
+                r.wait().map_or(String::new(), |d| d.as_secs().to_string()),
+                r.turnaround().map_or(String::new(), |d| d.as_secs().to_string()),
+                r.preemptions,
+                r.shrinks,
+                r.expands,
+                r.failures,
+                r.killed,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn lifecycle_is_tracked() {
+        let mut r = Recorder::new(100);
+        r.job_submitted(JobId(1), JobKind::Rigid, 10, t(100));
+        r.job_started(JobId(1), t(200));
+        r.job_preempted(JobId(1));
+        r.job_started(JobId(1), t(400)); // restart does not move first_start
+        r.job_finished(JobId(1), t(900));
+        let rec = r.get(JobId(1)).unwrap();
+        assert_eq!(rec.first_start, Some(t(200)));
+        assert_eq!(rec.preemptions, 1);
+        assert_eq!(rec.turnaround(), Some(SimDuration::from_secs(800)));
+        assert!(rec.completed());
+        assert_eq!(r.span(), Some((t(100), t(900))));
+    }
+
+    #[test]
+    fn on_demand_start_delay() {
+        let mut r = Recorder::new(100);
+        r.job_submitted(JobId(2), JobKind::OnDemand, 10, t(1_000));
+        r.job_started(JobId(2), t(1_090));
+        assert_eq!(
+            r.get(JobId(2)).unwrap().start_delay,
+            Some(SimDuration::from_secs(90))
+        );
+    }
+
+    #[test]
+    fn rigid_jobs_have_no_start_delay_metric() {
+        let mut r = Recorder::new(100);
+        r.job_submitted(JobId(3), JobKind::Rigid, 10, t(0));
+        r.job_started(JobId(3), t(50));
+        assert_eq!(r.get(JobId(3)).unwrap().start_delay, None);
+    }
+
+    #[test]
+    fn occupancy_and_waste_accumulate() {
+        let mut r = Recorder::new(100);
+        r.add_occupancy(10, SimDuration::from_secs(100));
+        r.add_occupancy(5, SimDuration::from_secs(10));
+        r.add_waste(3, SimDuration::from_secs(7));
+        assert_eq!(r.occupied_node_seconds(), 1_050);
+        assert_eq!(r.wasted_node_seconds(), 21);
+    }
+
+    #[test]
+    fn killed_jobs_are_not_completed() {
+        let mut r = Recorder::new(100);
+        r.job_submitted(JobId(4), JobKind::Rigid, 10, t(0));
+        r.job_started(JobId(4), t(1));
+        r.job_killed(JobId(4), t(100));
+        let rec = r.get(JobId(4)).unwrap();
+        assert!(rec.killed);
+        assert!(!rec.completed());
+        assert!(rec.finish.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "never submitted")]
+    fn starting_unknown_job_panics() {
+        let mut r = Recorder::new(1);
+        r.job_started(JobId(9), t(0));
+    }
+
+    #[test]
+    fn jobs_csv_exports_rows() {
+        let mut r = Recorder::new(10);
+        r.job_submitted(JobId(1), JobKind::Rigid, 4, t(100));
+        r.job_started(JobId(1), t(200));
+        r.job_finished(JobId(1), t(500));
+        r.job_submitted(JobId(0), JobKind::OnDemand, 2, t(50));
+        let csv = r.jobs_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("id,kind,category"));
+        // Sorted by id: job 0 first, never started → empty fields.
+        assert!(lines[1].starts_with("0,on-demand,no-notice,2,50,,"));
+        assert!(lines[2].starts_with("1,rigid,no-notice,4,100,200,500,100,400,"));
+    }
+
+    #[test]
+    fn decisions_recorded() {
+        let mut r = Recorder::new(1);
+        r.add_decision(std::time::Duration::from_micros(5));
+        assert_eq!(r.decision_nanos(), &[5_000]);
+    }
+}

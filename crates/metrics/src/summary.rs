@@ -1,0 +1,452 @@
+//! Folding raw records into the paper's evaluation metrics, and averaging
+//! across seeds.
+
+use crate::record::Recorder;
+use hws_sim::SimDuration;
+use hws_workload::{JobKind, NoticeCategory};
+
+/// Per-class statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KindStats {
+    pub completed: usize,
+    pub avg_turnaround_h: f64,
+    /// Share of jobs of this class preempted at least once.
+    pub preemption_ratio: f64,
+}
+
+/// One simulation run's evaluation report (§IV-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Mean turnaround over all completed jobs, hours.
+    pub avg_turnaround_h: f64,
+    pub rigid: KindStats,
+    pub on_demand: KindStats,
+    pub malleable: KindStats,
+    /// Share of on-demand jobs starting within the instant threshold of
+    /// their arrival.
+    pub instant_start_rate: f64,
+    /// Share of on-demand jobs starting at exactly their arrival instant.
+    pub strict_instant_rate: f64,
+    /// Useful node-time over total elapsed node-time; "excludes wasted
+    /// computation due to preemption".
+    pub utilization: f64,
+    /// Occupancy including waste (for cross-checks and ablations).
+    pub raw_occupancy: f64,
+    pub completed_jobs: usize,
+    pub killed_jobs: usize,
+    pub span_hours: f64,
+    /// Mean / p99 / max wall-clock cost of a mechanism decision, in
+    /// microseconds (Observation 10: must stay far below 10 ms).
+    pub decision_mean_us: f64,
+    pub decision_p99_us: f64,
+    pub decision_max_us: f64,
+    /// Mean queueing delay before the first start, hours.
+    pub avg_wait_h: f64,
+    /// Mean bounded slowdown (10-second runtime floor).
+    pub avg_bounded_slowdown: f64,
+    /// On-demand instant-start rate per notice category, in the order
+    /// [no-notice, accurate, early, late]; NaN-free (0 when empty).
+    pub instant_by_category: [f64; 4],
+    /// Total failures absorbed (failure-injection extension).
+    pub total_failures: u64,
+}
+
+impl Metrics {
+    /// Fold a recorder into the report. `instant_threshold` is the
+    /// start-delay bound under which an on-demand start counts as
+    /// "instant" (the driver passes its two-minute vacate window).
+    pub fn compute(rec: &Recorder, instant_threshold: SimDuration) -> Metrics {
+        let mut sum_tat = 0.0;
+        let mut n_completed = 0usize;
+        let mut killed = 0usize;
+        let mut per: [(f64, usize, usize, usize); 3] = [(0.0, 0, 0, 0); 3]; // (tat_sum, completed, preempted, total)
+        let mut od_total = 0usize;
+        let mut od_instant = 0usize;
+        let mut od_strict = 0usize;
+        let mut wait_sum = 0.0;
+        let mut wait_n = 0usize;
+        let mut slow_sum = 0.0;
+        let mut slow_n = 0usize;
+        let mut cat_inst = [(0usize, 0usize); 4];
+        let mut total_failures = 0u64;
+
+        // Fold in job-id order so float summation is deterministic across
+        // runs (HashMap iteration order is not).
+        let mut sorted: Vec<_> = rec.records().collect();
+        sorted.sort_by_key(|(id, _)| **id);
+        for (_, r) in sorted {
+            let idx = match r.kind {
+                JobKind::Rigid => 0,
+                JobKind::OnDemand => 1,
+                JobKind::Malleable => 2,
+            };
+            per[idx].3 += 1;
+            if r.preemptions > 0 {
+                per[idx].2 += 1;
+            }
+            if r.killed {
+                killed += 1;
+                continue;
+            }
+            total_failures += u64::from(r.failures);
+            if let Some(tat) = r.turnaround() {
+                let h = tat.as_hours_f64();
+                sum_tat += h;
+                n_completed += 1;
+                per[idx].0 += h;
+                per[idx].1 += 1;
+            }
+            if let Some(w) = r.wait() {
+                wait_sum += w.as_hours_f64();
+                wait_n += 1;
+            }
+            if let Some(s) = r.bounded_slowdown() {
+                slow_sum += s;
+                slow_n += 1;
+            }
+            if r.kind == JobKind::OnDemand {
+                if let Some(delay) = r.start_delay {
+                    od_total += 1;
+                    let cat = match r.category {
+                        NoticeCategory::NoNotice => 0,
+                        NoticeCategory::Accurate => 1,
+                        NoticeCategory::Early => 2,
+                        NoticeCategory::Late => 3,
+                    };
+                    cat_inst[cat].1 += 1;
+                    if delay <= instant_threshold {
+                        od_instant += 1;
+                        cat_inst[cat].0 += 1;
+                    }
+                    if delay.is_zero() {
+                        od_strict += 1;
+                    }
+                }
+            }
+        }
+        let instant_by_category =
+            cat_inst.map(|(i, n)| if n > 0 { i as f64 / n as f64 } else { 0.0 });
+
+        let kind_stats = |i: usize| KindStats {
+            completed: per[i].1,
+            avg_turnaround_h: if per[i].1 > 0 { per[i].0 / per[i].1 as f64 } else { 0.0 },
+            preemption_ratio: if per[i].3 > 0 {
+                per[i].2 as f64 / per[i].3 as f64
+            } else {
+                0.0
+            },
+        };
+
+        let (span_hours, capacity_ns) = match rec.span() {
+            Some((a, b)) if b > a => {
+                let span = b - a;
+                (
+                    span.as_hours_f64(),
+                    u128::from(rec.system_size) * u128::from(span.as_secs()),
+                )
+            }
+            _ => (0.0, 0),
+        };
+        let useful = rec
+            .occupied_node_seconds()
+            .saturating_sub(rec.wasted_node_seconds());
+        let utilization = if capacity_ns > 0 {
+            useful as f64 / capacity_ns as f64
+        } else {
+            0.0
+        };
+        let raw_occupancy = if capacity_ns > 0 {
+            rec.occupied_node_seconds() as f64 / capacity_ns as f64
+        } else {
+            0.0
+        };
+
+        let mut d: Vec<u64> = rec.decision_nanos().to_vec();
+        d.sort_unstable();
+        let decision_mean_us = if d.is_empty() {
+            0.0
+        } else {
+            d.iter().sum::<u64>() as f64 / d.len() as f64 / 1_000.0
+        };
+        let decision_p99_us = if d.is_empty() {
+            0.0
+        } else {
+            d[(d.len() - 1).min(d.len() * 99 / 100)] as f64 / 1_000.0
+        };
+        let decision_max_us = d.last().copied().unwrap_or(0) as f64 / 1_000.0;
+
+        Metrics {
+            avg_turnaround_h: if n_completed > 0 { sum_tat / n_completed as f64 } else { 0.0 },
+            rigid: kind_stats(0),
+            on_demand: kind_stats(1),
+            malleable: kind_stats(2),
+            instant_start_rate: if od_total > 0 { od_instant as f64 / od_total as f64 } else { 0.0 },
+            strict_instant_rate: if od_total > 0 { od_strict as f64 / od_total as f64 } else { 0.0 },
+            utilization,
+            raw_occupancy,
+            completed_jobs: n_completed,
+            killed_jobs: killed,
+            span_hours,
+            decision_mean_us,
+            decision_p99_us,
+            decision_max_us,
+            avg_wait_h: if wait_n > 0 { wait_sum / wait_n as f64 } else { 0.0 },
+            avg_bounded_slowdown: if slow_n > 0 { slow_sum / slow_n as f64 } else { 0.0 },
+            instant_by_category,
+            total_failures,
+        }
+    }
+
+    /// One-line human summary (examples, quick experiments).
+    pub fn one_line(&self) -> String {
+        format!(
+            "TAT {:.1} h | util {:.1}% | instant {:.1}% | preempt r/m {:.1}%/{:.1}%",
+            self.avg_turnaround_h,
+            self.utilization * 100.0,
+            self.instant_start_rate * 100.0,
+            self.rigid.preemption_ratio * 100.0,
+            self.malleable.preemption_ratio * 100.0,
+        )
+    }
+}
+
+/// Streaming average of [`Metrics`] across seeds (the paper repeats each
+/// experiment on ten randomly generated traces and averages).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsAvg {
+    n: usize,
+    sums: Vec<f64>,
+}
+
+impl MetricsAvg {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fields(m: &Metrics) -> Vec<f64> {
+        vec![
+            m.avg_turnaround_h,
+            m.rigid.avg_turnaround_h,
+            m.on_demand.avg_turnaround_h,
+            m.malleable.avg_turnaround_h,
+            m.instant_start_rate,
+            m.strict_instant_rate,
+            m.utilization,
+            m.raw_occupancy,
+            m.rigid.preemption_ratio,
+            m.malleable.preemption_ratio,
+            m.completed_jobs as f64,
+            m.killed_jobs as f64,
+            m.span_hours,
+            m.decision_mean_us,
+            m.decision_p99_us,
+            m.decision_max_us,
+            m.rigid.completed as f64,
+            m.on_demand.completed as f64,
+            m.malleable.completed as f64,
+            m.on_demand.preemption_ratio,
+            m.avg_wait_h,
+            m.avg_bounded_slowdown,
+            m.instant_by_category[0],
+            m.instant_by_category[1],
+            m.instant_by_category[2],
+            m.instant_by_category[3],
+            m.total_failures as f64,
+        ]
+    }
+
+    pub fn push(&mut self, m: &Metrics) {
+        let f = Self::fields(m);
+        if self.sums.is_empty() {
+            self.sums = vec![0.0; f.len()];
+        }
+        for (s, v) in self.sums.iter_mut().zip(f) {
+            *s += v;
+        }
+        self.n += 1;
+    }
+
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// The averaged report. Panics when no samples were pushed.
+    pub fn mean(&self) -> Metrics {
+        assert!(self.n > 0, "no samples");
+        let a: Vec<f64> = self.sums.iter().map(|s| s / self.n as f64).collect();
+        Metrics {
+            avg_turnaround_h: a[0],
+            rigid: KindStats {
+                completed: a[16] as usize,
+                avg_turnaround_h: a[1],
+                preemption_ratio: a[8],
+            },
+            on_demand: KindStats {
+                completed: a[17] as usize,
+                avg_turnaround_h: a[2],
+                preemption_ratio: a[19],
+            },
+            malleable: KindStats {
+                completed: a[18] as usize,
+                avg_turnaround_h: a[3],
+                preemption_ratio: a[9],
+            },
+            instant_start_rate: a[4],
+            strict_instant_rate: a[5],
+            utilization: a[6],
+            raw_occupancy: a[7],
+            completed_jobs: a[10] as usize,
+            killed_jobs: a[11] as usize,
+            span_hours: a[12],
+            decision_mean_us: a[13],
+            decision_p99_us: a[14],
+            decision_max_us: a[15],
+            avg_wait_h: a[20],
+            avg_bounded_slowdown: a[21],
+            instant_by_category: [a[22], a[23], a[24], a[25]],
+            total_failures: a[26] as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hws_sim::SimTime;
+    use hws_workload::JobId;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn threshold() -> SimDuration {
+        SimDuration::from_secs(120)
+    }
+
+    #[test]
+    fn turnaround_and_instant_rates() {
+        let mut rec = Recorder::new(100);
+        // Rigid job: 2 h turnaround.
+        rec.job_submitted(JobId(1), JobKind::Rigid, 10, t(0));
+        rec.job_started(JobId(1), t(600));
+        rec.job_finished(JobId(1), t(7_200));
+        // OD job: starts instantly.
+        rec.job_submitted(JobId(2), JobKind::OnDemand, 10, t(100));
+        rec.job_started(JobId(2), t(100));
+        rec.job_finished(JobId(2), t(3_700));
+        // OD job: starts after 10 minutes (not instant).
+        rec.job_submitted(JobId(3), JobKind::OnDemand, 10, t(200));
+        rec.job_started(JobId(3), t(800));
+        rec.job_finished(JobId(3), t(4_400));
+        rec.add_occupancy(100, SimDuration::from_secs(7_200));
+
+        let m = Metrics::compute(&rec, threshold());
+        assert_eq!(m.completed_jobs, 3);
+        assert!((m.instant_start_rate - 0.5).abs() < 1e-9);
+        assert!((m.strict_instant_rate - 0.5).abs() < 1e-9);
+        assert!((m.rigid.avg_turnaround_h - 2.0).abs() < 1e-9);
+        assert!((m.on_demand.avg_turnaround_h - 1.0833).abs() < 1e-3);
+    }
+
+    #[test]
+    fn utilization_excludes_waste() {
+        let mut rec = Recorder::new(10);
+        rec.job_submitted(JobId(1), JobKind::Rigid, 10, t(0));
+        rec.job_started(JobId(1), t(0));
+        rec.job_finished(JobId(1), t(1_000));
+        // Fully occupied for the whole 1000 s span, 2000 node-s wasted.
+        rec.add_occupancy(10, SimDuration::from_secs(1_000));
+        rec.add_waste(2, SimDuration::from_secs(1_000));
+        let m = Metrics::compute(&rec, threshold());
+        assert!((m.raw_occupancy - 1.0).abs() < 1e-9);
+        assert!((m.utilization - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preemption_ratio_counts_jobs_not_events() {
+        let mut rec = Recorder::new(10);
+        for id in 0..4u64 {
+            rec.job_submitted(JobId(id), JobKind::Rigid, 1, t(0));
+            rec.job_started(JobId(id), t(0));
+            rec.job_finished(JobId(id), t(100));
+        }
+        rec.job_preempted(JobId(0));
+        rec.job_preempted(JobId(0)); // double preemption still one job
+        let m = Metrics::compute(&rec, threshold());
+        assert!((m.rigid.preemption_ratio - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn killed_jobs_excluded_from_turnaround() {
+        let mut rec = Recorder::new(10);
+        rec.job_submitted(JobId(1), JobKind::Rigid, 1, t(0));
+        rec.job_started(JobId(1), t(0));
+        rec.job_killed(JobId(1), t(100));
+        rec.job_submitted(JobId(2), JobKind::Rigid, 1, t(0));
+        rec.job_started(JobId(2), t(0));
+        rec.job_finished(JobId(2), t(3_600));
+        let m = Metrics::compute(&rec, threshold());
+        assert_eq!(m.killed_jobs, 1);
+        assert_eq!(m.completed_jobs, 1);
+        assert!((m.avg_turnaround_h - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_recorder_yields_zeroes() {
+        let rec = Recorder::new(10);
+        let m = Metrics::compute(&rec, threshold());
+        assert_eq!(m.completed_jobs, 0);
+        assert_eq!(m.utilization, 0.0);
+        assert_eq!(m.instant_start_rate, 0.0);
+    }
+
+    #[test]
+    fn decision_percentiles() {
+        let mut rec = Recorder::new(10);
+        for us in 1..=100u64 {
+            rec.add_decision(std::time::Duration::from_micros(us));
+        }
+        let m = Metrics::compute(&rec, threshold());
+        assert!((m.decision_mean_us - 50.5).abs() < 1e-9);
+        assert!((m.decision_max_us - 100.0).abs() < 1e-9);
+        assert!(m.decision_p99_us >= 99.0);
+    }
+
+    #[test]
+    fn averaging_across_runs() {
+        let mut rec1 = Recorder::new(10);
+        rec1.job_submitted(JobId(1), JobKind::Rigid, 1, t(0));
+        rec1.job_started(JobId(1), t(0));
+        rec1.job_finished(JobId(1), t(3_600));
+        rec1.add_occupancy(10, SimDuration::from_secs(3_600));
+        let m1 = Metrics::compute(&rec1, threshold());
+
+        let mut rec2 = Recorder::new(10);
+        rec2.job_submitted(JobId(1), JobKind::Rigid, 1, t(0));
+        rec2.job_started(JobId(1), t(0));
+        rec2.job_finished(JobId(1), t(10_800));
+        rec2.add_occupancy(5, SimDuration::from_secs(10_800));
+        let m2 = Metrics::compute(&rec2, threshold());
+
+        let mut avg = MetricsAvg::new();
+        avg.push(&m1);
+        avg.push(&m2);
+        assert_eq!(avg.count(), 2);
+        let m = avg.mean();
+        assert!((m.avg_turnaround_h - 2.0).abs() < 1e-9); // (1 + 3) / 2
+        assert!((m.utilization - 0.75).abs() < 1e-9); // (1.0 + 0.5) / 2
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn mean_of_empty_average_panics() {
+        MetricsAvg::new().mean();
+    }
+
+    #[test]
+    fn one_line_renders() {
+        let rec = Recorder::new(10);
+        let m = Metrics::compute(&rec, threshold());
+        assert!(m.one_line().contains("util"));
+    }
+}

@@ -1,0 +1,264 @@
+//! The future-event list: a binary heap of timestamped events with
+//! deterministic FIFO tie-breaking and O(1) lazy cancellation.
+//!
+//! Cancellation matters for this simulator: a scheduled job-finish event
+//! becomes stale when the job is preempted or shrunk, and a planned
+//! checkpoint-triggered preemption (CUP) is dropped when its on-demand job
+//! arrives early. Cancelled entries stay in the heap and are skipped on pop.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle for a scheduled event, used to cancel it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+// Reverse ordering => BinaryHeap becomes a min-heap on (time, seq).
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// Future-event list with stable ordering and lazy cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    /// High-water mark of delivered time; scheduling before it is a logic
+    /// error caught in debug builds.
+    watermark: SimTime,
+    n_cancelled_popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+            n_cancelled_popped: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `t`. Returns a handle for
+    /// cancellation. Scheduling in the causal past (before the last popped
+    /// event) is a bug in the caller and panics in debug builds; in release
+    /// the event is clamped to the watermark so the simulation stays
+    /// monotone.
+    pub fn schedule(&mut self, t: SimTime, event: E) -> EventId {
+        debug_assert!(
+            t >= self.watermark,
+            "scheduled event at {t} before watermark {}",
+            self.watermark
+        );
+        let t = t.max(self.watermark);
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            time: t,
+            seq: self.next_seq,
+            id,
+            event,
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-delivered
+    /// or already-cancelled event is a no-op (returns `false`).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pop the next live event, skipping cancelled entries.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                self.n_cancelled_popped += 1;
+                continue;
+            }
+            self.watermark = entry.time;
+            return Some((entry.time, entry.id, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.cancelled.contains(&head.id) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.id);
+                self.n_cancelled_popped += 1;
+                continue;
+            }
+            return Some(head.time);
+        }
+    }
+
+    /// Number of entries in the heap, *including* not-yet-skipped cancelled
+    /// ones (cheap upper bound).
+    pub fn len_upper_bound(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Exact number of live (non-cancelled) events.
+    pub fn live_len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Total events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Cancelled entries that have been skipped during pops so far.
+    pub fn cancelled_skipped(&self) -> u64 {
+        self.n_cancelled_popped
+    }
+
+    /// The delivery high-water mark (time of the most recent pop).
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_time() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("b"));
+        assert_eq!(q.pop().map(|(_, _, e)| e), None);
+    }
+
+    #[test]
+    fn cancel_twice_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(9)));
+        assert_eq!(q.live_len(), 1);
+    }
+
+    #[test]
+    fn watermark_advances() {
+        let mut q = EventQueue::new();
+        q.schedule(t(7), ());
+        q.pop();
+        assert_eq!(q.watermark(), t(7));
+        // Scheduling at the watermark is allowed (same-instant cascades).
+        q.schedule(t(7), ());
+        assert_eq!(q.pop().map(|(ts, _, _)| ts), Some(t(7)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "before watermark")]
+    fn schedule_in_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        q.cancel(a);
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.cancelled_skipped(), 1);
+    }
+
+    #[test]
+    fn is_empty_after_draining() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.cancel(a);
+        assert!(q.is_empty());
+    }
+}

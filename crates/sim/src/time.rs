@@ -1,0 +1,304 @@
+//! Virtual time. The simulation clock counts integer **seconds** from an
+//! arbitrary epoch (the start of the trace). One-second resolution is exact
+//! for every constant in the reproduced paper (15–30 min advance notices,
+//! the 2-minute preemption warning, 600/1200 s checkpoint costs, the 10-min
+//! reservation timeout) and keeps arithmetic total and overflow-checked.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulation clock, in seconds since time zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as a sentinel for "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    #[inline]
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s)
+    }
+
+    /// Duration elapsed since `earlier`; zero if `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference: `None` when `earlier > self`.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const SECOND: SimDuration = SimDuration(1);
+    pub const MINUTE: SimDuration = SimDuration(60);
+    pub const HOUR: SimDuration = SimDuration(3_600);
+    pub const DAY: SimDuration = SimDuration(86_400);
+    pub const WEEK: SimDuration = SimDuration(7 * 86_400);
+
+    #[inline]
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s)
+    }
+
+    #[inline]
+    pub fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60)
+    }
+
+    #[inline]
+    pub fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600)
+    }
+
+    #[inline]
+    pub fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400)
+    }
+
+    #[inline]
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600.0
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by a non-negative float, rounding to the nearest second.
+    /// Panics (debug) on negative or non-finite factors.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        debug_assert!(factor.is_finite() && factor >= 0.0, "bad factor {factor}");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    #[inline]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics when `rhs > self`; use [`SimTime::since`] for a saturating
+    /// variant.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// `d+hh:mm:ss` rendering, e.g. `3+07:15:42`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        let (d, r) = (s / 86_400, s % 86_400);
+        write!(f, "{}+{:02}:{:02}:{:02}", d, r / 3_600, (r % 3_600) / 60, r % 60)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= 86_400 {
+            write!(f, "{:.1}d", s as f64 / 86_400.0)
+        } else if s >= 3_600 {
+            write!(f, "{:.1}h", s as f64 / 3_600.0)
+        } else if s >= 60 {
+            write!(f, "{:.1}m", s as f64 / 60.0)
+        } else {
+            write!(f, "{s}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::from_secs(100);
+        assert_eq!(t + SimDuration::from_secs(50), SimTime::from_secs(150));
+    }
+
+    #[test]
+    fn subtract_times() {
+        let a = SimTime::from_secs(500);
+        let b = SimTime::from_secs(120);
+        assert_eq!(a - b, SimDuration::from_secs(380));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtract_times_underflow_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(b.since(a), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn checked_since() {
+        assert_eq!(
+            SimTime::from_secs(5).checked_since(SimTime::from_secs(7)),
+            None
+        );
+        assert_eq!(
+            SimTime::from_secs(7).checked_since(SimTime::from_secs(5)),
+            Some(SimDuration::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::from_mins(2).as_secs(), 120);
+        assert_eq!(SimDuration::from_hours(2).as_secs(), 7_200);
+        assert_eq!(SimDuration::from_days(1), SimDuration::DAY);
+        assert_eq!(SimDuration::WEEK.as_secs(), 604_800);
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(SimDuration::from_secs(100).mul_f64(0.5).as_secs(), 50);
+        assert_eq!(SimDuration::from_secs(3).mul_f64(0.5).as_secs(), 2); // 1.5 -> 2
+        assert_eq!(SimDuration::from_secs(100).mul_f64(0.0).as_secs(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(90_061).to_string(), "1+01:01:01");
+        assert_eq!(SimDuration::from_secs(30).to_string(), "30s");
+        assert_eq!(SimDuration::from_secs(90).to_string(), "1.5m");
+        assert_eq!(SimDuration::from_secs(5_400).to_string(), "1.5h");
+        assert_eq!(SimDuration::from_secs(129_600).to_string(), "1.5d");
+    }
+
+    #[test]
+    fn hours_f64() {
+        assert!((SimDuration::from_secs(5_400).as_hours_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(9);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let x = SimDuration::from_secs(3);
+        let y = SimDuration::from_secs(9);
+        assert_eq!(x.min(y), x);
+        assert_eq!(x.max(y), y);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimTime::from_secs(5).saturating_sub(SimDuration::from_secs(9)),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            SimDuration::from_secs(5).saturating_sub(SimDuration::from_secs(9)),
+            SimDuration::ZERO
+        );
+    }
+}

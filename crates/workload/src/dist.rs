@@ -1,0 +1,296 @@
+//! Statistical distributions for the trace generator, implemented from
+//! scratch on top of `rand`'s uniform source (DESIGN.md §5: no extra
+//! dependency for distributions).
+//!
+//! * [`LogNormal`] — Box–Muller transform; models job runtimes.
+//! * [`TruncatedLogNormal`] — rejection with a clamp fallback, for the
+//!   1-day runtime cap of Theta (Table I).
+//! * [`Zipf`] — inverse-CDF sampling over a precomputed table; models
+//!   heavy-tailed project activity.
+//! * [`Exponential`] — inverse CDF; models within-burst submission gaps.
+//! * [`weighted_index`] — discrete choice over `f64` weights (size buckets).
+
+use rand::Rng;
+
+/// Standard normal via the Box–Muller transform. Stateless: draws two
+/// uniforms and discards the second variate, trading a little throughput for
+/// simplicity (trace generation is not a hot path).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal distribution: `exp(mu + sigma * N(0,1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the *log-space* parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && mu.is_finite() && sigma.is_finite());
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct from the desired *median* (`exp(mu)`) and log-space sigma —
+    /// a more intuitive parameterisation for runtimes.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0);
+        Self::new(median.ln(), sigma)
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// Analytic mean `exp(mu + sigma^2/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Log-normal restricted to `[lo, hi]`: rejection-sample a few times, then
+/// clamp. The clamp keeps sampling total (no unbounded loop) while the
+/// retries keep the boundary atoms small.
+#[derive(Debug, Clone, Copy)]
+pub struct TruncatedLogNormal {
+    pub inner: LogNormal,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl TruncatedLogNormal {
+    pub fn new(inner: LogNormal, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo, "bad truncation bounds [{lo}, {hi}]");
+        TruncatedLogNormal { inner, lo, hi }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        const RETRIES: u32 = 16;
+        for _ in 0..RETRIES {
+            let x = self.inner.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`. Sampling is a binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite());
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n` (0-based).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k` (0-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Exponential distribution with the given mean, via inverse CDF.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    pub mean: f64,
+}
+
+impl Exponential {
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0);
+        Exponential { mean }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        -self.mean * u.ln()
+    }
+}
+
+/// Sample an index from non-negative weights. Linear scan — the weight
+/// vectors here have a handful of entries.
+pub fn weighted_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && weights.iter().all(|w| *w >= 0.0),
+        "weights must be non-negative with positive sum"
+    );
+    let mut u = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = standard_normal(&mut r);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_analytic() {
+        let d = LogNormal::new(8.0, 0.5);
+        let mut r = rng();
+        let n = 200_000;
+        let emp: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        let rel = (emp - d.mean()).abs() / d.mean();
+        assert!(rel < 0.02, "relative error {rel}");
+    }
+
+    #[test]
+    fn lognormal_from_median() {
+        let d = LogNormal::from_median(7_200.0, 1.0);
+        assert!((d.mu - 7_200.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_lognormal_respects_bounds() {
+        let d = TruncatedLogNormal::new(LogNormal::new(8.0, 2.0), 600.0, 86_400.0);
+        let mut r = rng();
+        for _ in 0..50_000 {
+            let x = d.sample(&mut r);
+            assert!((600.0..=86_400.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad truncation bounds")]
+    fn truncated_lognormal_rejects_inverted_bounds() {
+        TruncatedLogNormal::new(LogNormal::new(0.0, 1.0), 10.0, 5.0);
+    }
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let z = Zipf::new(100, 1.4);
+        let mut r = rng();
+        let mut counts = vec![0u32; 100];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // Rank 0 should dominate rank 9 by roughly 10^1.4 ≈ 25x.
+        assert!(counts[0] > counts[9] * 10);
+        // Empirical frequency of rank 0 tracks the pmf.
+        let emp = counts[0] as f64 / n as f64;
+        assert!((emp - z.pmf(0)).abs() < 0.01, "emp {emp} pmf {}", z.pmf(0));
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(211, 1.4);
+        let total: f64 = (0..z.len()).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(300.0);
+        let mut r = rng();
+        let n = 200_000;
+        let emp: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((emp - 300.0).abs() / 300.0 < 0.02, "{emp}");
+    }
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let w = [1.0, 3.0, 6.0];
+        let mut r = rng();
+        let mut counts = [0u32; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[weighted_index(&w, &mut r)] += 1;
+        }
+        assert!((counts[2] as f64 / n as f64 - 0.6).abs() < 0.02);
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn weighted_index_single_bucket() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&[5.0], &mut r), 0);
+    }
+
+    #[test]
+    fn determinism_across_seeds() {
+        let d = LogNormal::new(5.0, 1.0);
+        let sample = |seed| {
+            let mut r = StdRng::seed_from_u64(seed);
+            (0..10).map(|_| d.sample(&mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(1), sample(1));
+        assert_ne!(sample(1), sample(2));
+    }
+}

@@ -1,0 +1,713 @@
+//! Synthetic Theta-like trace generation.
+//!
+//! The real 2019 Theta trace is proprietary; this module reproduces every
+//! statistic the paper publishes about it (Table I, Fig. 3, Fig. 4, Fig. 5)
+//! from first principles:
+//!
+//! * **Projects.** 211 projects with Zipf-skewed activity. Job *types* are
+//!   assigned per project (§IV-B): 10 % of projects submit on-demand jobs,
+//!   60 % rigid, 30 % malleable. Because project activity is heavy-tailed,
+//!   the per-trace type mix varies strongly across seeds — exactly the
+//!   behaviour shown in the paper's Fig. 4.
+//! * **Burstiness.** Each project submits in sessions: a session start is
+//!   drawn from a diurnal/weekly-weighted distribution over the year and
+//!   emits a burst of jobs with exponential gaps. On-demand projects thus
+//!   produce the bursty weekly pattern of Fig. 5.
+//! * **Sizes.** Power-of-two-leaning sizes in doubling buckets starting at
+//!   the 128-node Theta minimum; bucket weights follow Fig. 3 (most jobs
+//!   small, core-hours spread to the large buckets).
+//! * **Runtimes.** Truncated log-normal, capped at Theta's 1-day limit.
+//!   User estimates over-estimate by a uniform factor, rounded up to 30-min
+//!   granularity (the classic HPC estimate pattern).
+//! * **Notices.** On-demand jobs receive an advance notice 15–30 min before
+//!   their predicted arrival; the accuracy category mix is the W1–W5 setting
+//!   of Table III.
+
+use crate::dist::{weighted_index, Exponential, TruncatedLogNormal, Zipf};
+use crate::dist::LogNormal;
+use crate::ids::{JobId, ProjectId};
+use crate::job::{JobKind, JobSpec, NoticeCategory, NoticeSpec};
+use crate::trace::Trace;
+use hws_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Advance-notice accuracy mix (Table III). Fractions sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoticeMix {
+    pub no_notice: f64,
+    pub accurate: f64,
+    pub early: f64,
+    pub late: f64,
+}
+
+impl NoticeMix {
+    /// W1: 70 % without advance notice.
+    pub const W1: NoticeMix = NoticeMix { no_notice: 0.7, accurate: 0.1, early: 0.1, late: 0.1 };
+    /// W2: 70 % with accurate notice.
+    pub const W2: NoticeMix = NoticeMix { no_notice: 0.1, accurate: 0.7, early: 0.1, late: 0.1 };
+    /// W3: 70 % arrive early.
+    pub const W3: NoticeMix = NoticeMix { no_notice: 0.1, accurate: 0.1, early: 0.7, late: 0.1 };
+    /// W4: 70 % arrive late.
+    pub const W4: NoticeMix = NoticeMix { no_notice: 0.1, accurate: 0.1, early: 0.1, late: 0.7 };
+    /// W5: equal split (also the §IV-B default configuration).
+    pub const W5: NoticeMix = NoticeMix { no_notice: 0.25, accurate: 0.25, early: 0.25, late: 0.25 };
+
+    /// The five workloads of Table III, with their paper names.
+    pub const TABLE3: [(&'static str, NoticeMix); 5] = [
+        ("W1", Self::W1),
+        ("W2", Self::W2),
+        ("W3", Self::W3),
+        ("W4", Self::W4),
+        ("W5", Self::W5),
+    ];
+
+    pub fn weights(&self) -> [f64; 4] {
+        [self.no_notice, self.accurate, self.early, self.late]
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        let s = self.no_notice + self.accurate + self.early + self.late;
+        if (s - 1.0).abs() > 1e-9 {
+            return Err(format!("notice mix sums to {s}, expected 1"));
+        }
+        if self.weights().iter().any(|w| *w < 0.0) {
+            return Err("negative notice fraction".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NoticeMix {
+    fn default() -> Self {
+        NoticeMix::W5
+    }
+}
+
+/// All knobs of the synthetic workload. `theta_2019()` reproduces the
+/// paper's Table I; `small()`/`tiny()` are scaled-down variants for tests
+/// and examples.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Total compute nodes (Theta: 4,392).
+    pub system_size: u32,
+    /// Number of allocation projects (Theta 2019: 211).
+    pub n_projects: u32,
+    /// Target number of jobs over the horizon (Theta 2019: 37,298).
+    pub target_jobs: u32,
+    /// Trace horizon (Theta trace: one year).
+    pub horizon: SimDuration,
+    /// Fraction of *projects* submitting on-demand jobs (§IV-B: 10 %).
+    pub od_project_frac: f64,
+    /// Fraction of *projects* submitting rigid jobs (§IV-B: 60 %); the rest
+    /// submit malleable jobs.
+    pub rigid_project_frac: f64,
+    /// Advance-notice accuracy mix (Table III).
+    pub notice_mix: NoticeMix,
+    /// Smallest schedulable allocation (Theta: 128 nodes).
+    pub min_job_size: u32,
+    /// Sizes are rounded to multiples of this quantum.
+    pub size_quantum: u32,
+    /// Job-count weights of the doubling size buckets (Fig. 3); the last
+    /// weight covers everything up to the full machine.
+    pub size_bucket_weights: [f64; 5],
+    /// Size-bucket weights for on-demand projects ("real on-demand jobs are
+    /// relatively small in size").
+    pub od_size_bucket_weights: [f64; 5],
+    /// Probability a job re-samples a bucket globally instead of using its
+    /// project's characteristic bucket.
+    pub bucket_drift: f64,
+    /// Log-normal runtime model: median (seconds) and log-space sigma.
+    pub runtime_median_s: f64,
+    pub runtime_sigma: f64,
+    /// Runtime bounds (Theta: jobs up to 1 day).
+    pub min_runtime: SimDuration,
+    pub max_runtime: SimDuration,
+    /// User estimates: `work × U(lo, hi)` rounded up to 30 min.
+    pub estimate_factor: (f64, f64),
+    /// Fraction of users whose estimate is just the work rounded up.
+    pub estimate_exact_frac: f64,
+    /// Rigid setup cost as a fraction of work, uniform in this range
+    /// (§IV-B: 5–10 %).
+    pub rigid_setup_frac: (f64, f64),
+    /// Malleable setup cost fraction range (§IV-B: 0–5 %).
+    pub malleable_setup_frac: (f64, f64),
+    /// Malleable minimum size as a fraction of the requested size
+    /// (§IV-B: 20 %).
+    pub malleable_min_frac: f64,
+    /// Advance-notice lead range (§III-A: 15–30 minutes).
+    pub notice_lead: (SimDuration, SimDuration),
+    /// Late arrivals land within this window after the prediction (§IV-B:
+    /// 30 minutes).
+    pub late_window: SimDuration,
+    /// Mean jobs per submission session (burstiness).
+    pub burst_mean_jobs: f64,
+    /// Mean gap between submissions inside a session.
+    pub burst_gap_mean: SimDuration,
+    /// Zipf exponent for project activity.
+    pub zipf_s: f64,
+    /// Enable weekday/daytime submission weighting.
+    pub diurnal: bool,
+    /// When set, linearly rescale all work durations after generation so
+    /// the trace's offered load (total work node-seconds over
+    /// `system × horizon`) hits this value exactly. Heavy-tailed project
+    /// activity otherwise makes the realized load vary strongly across
+    /// seeds, whereas the paper evaluates against one fixed real trace.
+    pub target_load: Option<f64>,
+}
+
+impl TraceConfig {
+    /// Reproduces the published shape of the 2019 Theta workload (Table I).
+    /// Runtime/size parameters are calibrated so the offered load supports
+    /// the ≈84 % baseline utilisation of Table II.
+    pub fn theta_2019() -> Self {
+        TraceConfig {
+            system_size: 4_392,
+            n_projects: 211,
+            target_jobs: 37_298,
+            horizon: SimDuration::from_days(365),
+            od_project_frac: 0.10,
+            rigid_project_frac: 0.60,
+            notice_mix: NoticeMix::W5,
+            min_job_size: 128,
+            size_quantum: 64,
+            size_bucket_weights: [0.46, 0.20, 0.14, 0.12, 0.08],
+            od_size_bucket_weights: [0.80, 0.18, 0.02, 0.0, 0.0],
+            bucket_drift: 0.25,
+            runtime_median_s: 3_100.0,
+            runtime_sigma: 1.45,
+            min_runtime: SimDuration::from_mins(10),
+            max_runtime: SimDuration::from_days(1),
+            estimate_factor: (1.1, 3.0),
+            estimate_exact_frac: 0.2,
+            rigid_setup_frac: (0.05, 0.10),
+            malleable_setup_frac: (0.0, 0.05),
+            malleable_min_frac: 0.2,
+            notice_lead: (SimDuration::from_mins(15), SimDuration::from_mins(30)),
+            late_window: SimDuration::from_mins(30),
+            burst_mean_jobs: 12.0,
+            burst_gap_mean: SimDuration::from_mins(4),
+            zipf_s: 1.05,
+            diurnal: true,
+            target_load: Some(0.81),
+        }
+    }
+
+    /// A month on a 512-node machine — fast enough for integration tests
+    /// while still exercising queueing, bursts, and all three job classes.
+    pub fn small() -> Self {
+        TraceConfig {
+            system_size: 512,
+            n_projects: 24,
+            target_jobs: 900,
+            horizon: SimDuration::from_days(30),
+            min_job_size: 16,
+            size_quantum: 8,
+            ..Self::theta_2019()
+        }
+    }
+
+    /// A week on a 64-node machine — unit-test scale.
+    pub fn tiny() -> Self {
+        TraceConfig {
+            system_size: 64,
+            n_projects: 8,
+            target_jobs: 150,
+            horizon: SimDuration::from_days(7),
+            min_job_size: 4,
+            size_quantum: 2,
+            runtime_median_s: 2_400.0,
+            ..Self::theta_2019()
+        }
+    }
+
+    pub fn with_notice_mix(mut self, mix: NoticeMix) -> Self {
+        self.notice_mix = mix;
+        self
+    }
+
+    pub fn with_jobs(mut self, n: u32) -> Self {
+        self.target_jobs = n;
+        self
+    }
+
+    /// Doubling size buckets `[lo, hi)` starting at `min_job_size`; the last
+    /// bucket is capped at the full machine. At most five buckets (Fig. 3).
+    pub fn size_buckets(&self) -> Vec<(u32, u32)> {
+        let mut buckets = Vec::new();
+        let mut lo = self.min_job_size;
+        while buckets.len() < 4 && lo * 2 < self.system_size {
+            buckets.push((lo, lo * 2));
+            lo *= 2;
+        }
+        buckets.push((lo, self.system_size + 1));
+        buckets
+    }
+
+    /// Generate a trace. Deterministic in `(self, seed)`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        Generator::new(self, seed).run()
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.system_size == 0 || self.min_job_size == 0 || self.min_job_size > self.system_size {
+            return Err("bad system/min size".into());
+        }
+        if self.n_projects == 0 || self.target_jobs == 0 {
+            return Err("empty workload".into());
+        }
+        if !(0.0..=1.0).contains(&self.od_project_frac)
+            || !(0.0..=1.0).contains(&self.rigid_project_frac)
+            || self.od_project_frac + self.rigid_project_frac > 1.0
+        {
+            return Err("bad project fractions".into());
+        }
+        self.notice_mix.validate()?;
+        if self.min_runtime >= self.max_runtime {
+            return Err("bad runtime bounds".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self::theta_2019()
+    }
+}
+
+struct Generator<'c> {
+    cfg: &'c TraceConfig,
+    rng: StdRng,
+    buckets: Vec<(u32, u32)>,
+    runtime: TruncatedLogNormal,
+    gap: Exponential,
+}
+
+impl<'c> Generator<'c> {
+    fn new(cfg: &'c TraceConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid TraceConfig");
+        let runtime = TruncatedLogNormal::new(
+            LogNormal::from_median(cfg.runtime_median_s, cfg.runtime_sigma),
+            cfg.min_runtime.as_secs() as f64,
+            cfg.max_runtime.as_secs() as f64,
+        );
+        Generator {
+            buckets: cfg.size_buckets(),
+            runtime,
+            gap: Exponential::new(cfg.burst_gap_mean.as_secs().max(1) as f64),
+            rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            cfg,
+        }
+    }
+
+    fn run(mut self) -> Trace {
+        let cfg = self.cfg;
+        let np = cfg.n_projects as usize;
+
+        // 1. Heavy-tailed project activity.
+        let zipf = Zipf::new(np, cfg.zipf_s);
+        let mut counts = vec![0u32; np];
+        for _ in 0..cfg.target_jobs {
+            counts[zipf.sample(&mut self.rng)] += 1;
+        }
+
+        // 2. Job type per project (random permutation → first 10 % OD,
+        //    next 60 % rigid, rest malleable).
+        let mut perm: Vec<usize> = (0..np).collect();
+        for i in (1..np).rev() {
+            let j = self.rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let n_od = ((np as f64) * cfg.od_project_frac).round().max(1.0) as usize;
+        let n_rigid = ((np as f64) * cfg.rigid_project_frac).round() as usize;
+        let mut kind_of = vec![JobKind::Malleable; np];
+        for (rank, &p) in perm.iter().enumerate() {
+            kind_of[p] = if rank < n_od {
+                JobKind::OnDemand
+            } else if rank < n_od + n_rigid {
+                JobKind::Rigid
+            } else {
+                JobKind::Malleable
+            };
+        }
+
+        // 3. Per-project characteristic size bucket.
+        let nb = self.buckets.len();
+        let global_w = &cfg.size_bucket_weights[..nb.min(5)];
+        let od_w = &cfg.od_size_bucket_weights[..nb.min(5)];
+        let base_bucket: Vec<usize> = (0..np)
+            .map(|p| {
+                let w = if kind_of[p] == JobKind::OnDemand { od_w } else { global_w };
+                weighted_index(w, &mut self.rng)
+            })
+            .collect();
+
+        // 4. Emit jobs, project by project, session by session.
+        let mut jobs: Vec<JobSpec> = Vec::with_capacity(cfg.target_jobs as usize);
+        for p in 0..np {
+            let c = counts[p];
+            if c == 0 {
+                continue;
+            }
+            let n_sessions = ((c as f64 / cfg.burst_mean_jobs).round() as u32).max(1);
+            // Spread c jobs over n_sessions sessions as evenly as possible.
+            let base = c / n_sessions;
+            let extra = c % n_sessions;
+            for s in 0..n_sessions {
+                let in_session = base + u32::from(s < extra);
+                if in_session == 0 {
+                    continue;
+                }
+                let mut t = self.session_start();
+                for _ in 0..in_session {
+                    let spec = self.emit_job(p, kind_of[p], base_bucket[p], t);
+                    jobs.push(spec);
+                    t += SimDuration::from_secs(self.gap.sample(&mut self.rng).ceil() as u64 + 1);
+                }
+            }
+        }
+
+        // 5. Normalize offered load if requested: rescale work (and the
+        //    quantities derived from it) so total work node-seconds over
+        //    system × horizon equals `target_load`.
+        if let Some(target) = cfg.target_load {
+            let capacity = u128::from(cfg.system_size) * u128::from(cfg.horizon.as_secs());
+            let offered: u128 = jobs.iter().map(|j| u128::from(j.work_node_seconds())).sum();
+            if offered > 0 {
+                let ratio = target * capacity as f64 / offered as f64;
+                for j in &mut jobs {
+                    let est_factor = j.estimate.as_secs() as f64 / j.work.as_secs().max(1) as f64;
+                    let setup_frac = j.setup.as_secs() as f64 / j.work.as_secs().max(1) as f64;
+                    let new_work = (j.work.as_secs() as f64 * ratio)
+                        .round()
+                        .clamp(cfg.min_runtime.as_secs() as f64, cfg.max_runtime.as_secs() as f64)
+                        as u64;
+                    j.work = SimDuration::from_secs(new_work.max(60));
+                    let est = (j.work.as_secs() as f64 * est_factor) as u64;
+                    j.estimate = SimDuration::from_secs(est.div_ceil(1_800) * 1_800)
+                        .max(j.work)
+                        .min(cfg.max_runtime.max(j.work));
+                    j.setup =
+                        SimDuration::from_secs((j.work.as_secs() as f64 * setup_frac).round() as u64);
+                }
+            }
+        }
+
+        // 6. Sort by submission and relabel ids in submission order.
+        jobs.sort_by_key(|j| (j.submit, j.id));
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = JobId(i as u64);
+        }
+        let trace = Trace::new(cfg.system_size, cfg.horizon, jobs);
+        debug_assert_eq!(trace.validate(), Ok(()));
+        trace
+    }
+
+    /// Session starts follow the weekly/diurnal activity of an HPC centre:
+    /// weekday working hours dominate, nights and weekends are quieter.
+    fn session_start(&mut self) -> SimTime {
+        let horizon = self.cfg.horizon.as_secs();
+        for _ in 0..32 {
+            let t = self.rng.random_range(0..horizon);
+            if !self.cfg.diurnal {
+                return SimTime::from_secs(t);
+            }
+            let day = (t / 86_400) % 7;
+            let hour = (t % 86_400) / 3_600;
+            let w = if day >= 5 {
+                0.25
+            } else if (8..18).contains(&hour) {
+                1.0
+            } else {
+                0.40
+            };
+            if self.rng.random_range(0.0..1.0) < w {
+                return SimTime::from_secs(t);
+            }
+        }
+        SimTime::from_secs(self.rng.random_range(0..horizon))
+    }
+
+    fn sample_size(&mut self, kind: JobKind, base_bucket: usize) -> u32 {
+        let cfg = self.cfg;
+        let nb = self.buckets.len();
+        let bucket = if self.rng.random_range(0.0..1.0) < cfg.bucket_drift {
+            let w = if kind == JobKind::OnDemand {
+                &cfg.od_size_bucket_weights[..nb.min(5)]
+            } else {
+                &cfg.size_bucket_weights[..nb.min(5)]
+            };
+            weighted_index(w, &mut self.rng)
+        } else {
+            base_bucket
+        };
+        let (lo, hi) = self.buckets[bucket.min(nb - 1)];
+        // Real HPC sizes clump at powers of two: half the jobs sit exactly
+        // on the bucket's lower boundary, the rest spread log-uniformly.
+        if self.rng.random_range(0.0..1.0) < 0.5 {
+            return lo.max(cfg.min_job_size).min(cfg.system_size);
+        }
+        let (flo, fhi) = (lo as f64, hi as f64);
+        let x = (flo.ln() + self.rng.random_range(0.0..1.0) * (fhi.ln() - flo.ln())).exp();
+        let q = cfg.size_quantum.max(1);
+        let size = ((x / q as f64).round() as u32 * q)
+            .clamp(lo.max(cfg.min_job_size), (hi - 1).min(cfg.system_size));
+        size.max(cfg.min_job_size)
+    }
+
+    fn emit_job(&mut self, project: usize, kind: JobKind, base_bucket: usize, t_gen: SimTime) -> JobSpec {
+        let cfg = self.cfg;
+        let mut kind = kind;
+        let mut size = self.sample_size(kind, base_bucket);
+
+        // Paper §IV-A: large on-demand jobs (> half the machine) are
+        // reassigned to be rigid or malleable.
+        if kind == JobKind::OnDemand && size > cfg.system_size / 2 {
+            kind = if self.rng.random_range(0.0..1.0) < 0.5 {
+                JobKind::Rigid
+            } else {
+                JobKind::Malleable
+            };
+            size = size.min(cfg.system_size);
+        }
+
+        let work_s = self.runtime.sample(&mut self.rng).round().max(60.0) as u64;
+        let work = SimDuration::from_secs(work_s);
+
+        // Estimates: exact-ish or a uniform over-estimation factor, rounded
+        // up to 30-minute granularity, always ≥ work.
+        let est_raw = if self.rng.random_range(0.0..1.0) < cfg.estimate_exact_frac {
+            work_s
+        } else {
+            let (lo, hi) = cfg.estimate_factor;
+            (work_s as f64 * self.rng.random_range(lo..hi)) as u64
+        };
+        let est = SimDuration::from_secs(est_raw.div_ceil(1_800) * 1_800).max(work);
+
+        let setup_frac_range = match kind {
+            JobKind::Rigid => cfg.rigid_setup_frac,
+            JobKind::Malleable => cfg.malleable_setup_frac,
+            JobKind::OnDemand => (0.0, 0.0),
+        };
+        let setup_frac = if setup_frac_range.1 > setup_frac_range.0 {
+            self.rng.random_range(setup_frac_range.0..setup_frac_range.1)
+        } else {
+            setup_frac_range.0
+        };
+        let setup = SimDuration::from_secs((work_s as f64 * setup_frac).round() as u64);
+
+        let min_size = if kind == JobKind::Malleable {
+            ((size as f64 * cfg.malleable_min_frac).ceil() as u32).clamp(1, size)
+        } else {
+            size
+        };
+
+        let (submit, notice, category) = if kind == JobKind::OnDemand {
+            self.notice_timing(t_gen)
+        } else {
+            (t_gen, None, NoticeCategory::NoNotice)
+        };
+
+        JobSpec {
+            // Temporary id; relabelled after the global sort.
+            id: JobId(u64::MAX),
+            project: ProjectId(project as u32),
+            kind,
+            submit,
+            size,
+            min_size,
+            work,
+            estimate: est,
+            setup,
+            notice,
+            category,
+        }
+    }
+
+    /// Derive (actual arrival, notice, category) for an on-demand job whose
+    /// generation instant is `t_gen` (= the notice instant when a notice is
+    /// given). See Fig. 1 and §IV-B.
+    fn notice_timing(&mut self, t_gen: SimTime) -> (SimTime, Option<NoticeSpec>, NoticeCategory) {
+        let cfg = self.cfg;
+        let idx = weighted_index(&cfg.notice_mix.weights(), &mut self.rng);
+        let lead_s = self
+            .rng
+            .random_range(cfg.notice_lead.0.as_secs()..=cfg.notice_lead.1.as_secs());
+        let lead = SimDuration::from_secs(lead_s);
+        let predicted = t_gen + lead;
+        match NoticeCategory::ALL[idx] {
+            NoticeCategory::NoNotice => (t_gen, None, NoticeCategory::NoNotice),
+            NoticeCategory::Accurate => (
+                predicted,
+                Some(NoticeSpec { notice_time: t_gen, predicted_arrival: predicted }),
+                NoticeCategory::Accurate,
+            ),
+            NoticeCategory::Early => {
+                let arrive = t_gen + SimDuration::from_secs(self.rng.random_range(0..lead_s));
+                (
+                    arrive,
+                    Some(NoticeSpec { notice_time: t_gen, predicted_arrival: predicted }),
+                    NoticeCategory::Early,
+                )
+            }
+            NoticeCategory::Late => {
+                let slack = self.rng.random_range(1..=cfg.late_window.as_secs());
+                (
+                    predicted + SimDuration::from_secs(slack),
+                    Some(NoticeSpec { notice_time: t_gen, predicted_arrival: predicted }),
+                    NoticeCategory::Late,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_target_job_count() {
+        let tr = TraceConfig::tiny().generate(1);
+        assert_eq!(tr.len(), 150);
+        assert!(tr.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TraceConfig::tiny();
+        assert_eq!(cfg.generate(7), cfg.generate(7));
+        assert_ne!(cfg.generate(7), cfg.generate(8));
+    }
+
+    #[test]
+    fn theta_preset_matches_table1_shape() {
+        let mut cfg = TraceConfig::theta_2019();
+        cfg.target_jobs = 4_000; // keep the test quick; shape is unchanged
+        let tr = cfg.generate(42);
+        assert!(tr.validate().is_ok());
+        assert_eq!(tr.system_size, 4_392);
+        assert!(tr.jobs.iter().all(|j| j.size >= 128));
+        assert!(tr.jobs.iter().all(|j| j.work <= SimDuration::from_days(1)));
+        assert!(tr.jobs.iter().all(|j| j.estimate >= j.work));
+        let projects: std::collections::HashSet<_> = tr.jobs.iter().map(|j| j.project).collect();
+        assert!(projects.len() > 50, "expected many active projects, got {}", projects.len());
+    }
+
+    #[test]
+    fn job_types_are_uniform_within_project() {
+        let tr = TraceConfig::small().generate(3);
+        let mut seen: std::collections::HashMap<ProjectId, JobKind> = Default::default();
+        for j in &tr.jobs {
+            // Reassigned large on-demand jobs may break project purity for
+            // on-demand projects, but only toward rigid/malleable.
+            let e = seen.entry(j.project).or_insert(j.kind);
+            if *e != j.kind {
+                assert_eq!(*e, JobKind::OnDemand);
+                assert_ne!(j.kind, JobKind::OnDemand);
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_kinds_present_across_seeds() {
+        // A single small seed may miss a class (heavy-tailed projects); over
+        // several seeds all classes must appear.
+        let cfg = TraceConfig::small();
+        let mut saw = [false; 3];
+        for seed in 0..5 {
+            let tr = cfg.generate(seed);
+            for (i, k) in JobKind::ALL.iter().enumerate() {
+                if tr.count_kind(*k) > 0 {
+                    saw[i] = true;
+                }
+            }
+        }
+        assert_eq!(saw, [true, true, true]);
+    }
+
+    #[test]
+    fn on_demand_notice_categories_follow_mix() {
+        let cfg = TraceConfig {
+            target_jobs: 6_000,
+            od_project_frac: 1.0,
+            rigid_project_frac: 0.0,
+            notice_mix: NoticeMix::W2,
+            ..TraceConfig::small()
+        };
+        let tr = cfg.generate(9);
+        let od: Vec<_> = tr.iter_kind(JobKind::OnDemand).collect();
+        assert!(od.len() > 3_000);
+        let frac = |c: NoticeCategory| {
+            od.iter().filter(|j| j.category == c).count() as f64 / od.len() as f64
+        };
+        assert!((frac(NoticeCategory::Accurate) - 0.7).abs() < 0.05);
+        assert!((frac(NoticeCategory::NoNotice) - 0.1).abs() < 0.05);
+        assert!((frac(NoticeCategory::Early) - 0.1).abs() < 0.05);
+        assert!((frac(NoticeCategory::Late) - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn no_oversized_on_demand_jobs() {
+        let cfg = TraceConfig {
+            od_project_frac: 1.0,
+            rigid_project_frac: 0.0,
+            od_size_bucket_weights: [0.0, 0.0, 0.0, 0.2, 0.8], // force large draws
+            ..TraceConfig::small()
+        };
+        let tr = cfg.generate(11);
+        for j in tr.iter_kind(JobKind::OnDemand) {
+            assert!(j.size <= tr.system_size / 2, "OD {} too large: {}", j.id, j.size);
+        }
+        // The reassignment must have produced some rigid/malleable jobs.
+        assert!(tr.count_kind(JobKind::Rigid) + tr.count_kind(JobKind::Malleable) > 0);
+    }
+
+    #[test]
+    fn size_buckets_double_from_min() {
+        let cfg = TraceConfig::theta_2019();
+        assert_eq!(
+            cfg.size_buckets(),
+            vec![(128, 256), (256, 512), (512, 1_024), (1_024, 2_048), (2_048, 4_393)]
+        );
+        let tiny = TraceConfig::tiny();
+        let b = tiny.size_buckets();
+        assert_eq!(b.first().unwrap().0, 4);
+        assert_eq!(b.last().unwrap().1, 65);
+    }
+
+    #[test]
+    fn malleable_min_size_is_twenty_percent() {
+        let tr = TraceConfig::small().generate(5);
+        for j in tr.iter_kind(JobKind::Malleable) {
+            assert_eq!(j.min_size, ((j.size as f64) * 0.2).ceil() as u32);
+        }
+    }
+
+    #[test]
+    fn notice_mix_constants_sum_to_one() {
+        for (_, m) in NoticeMix::TABLE3 {
+            assert!(m.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn ids_follow_submission_order() {
+        let tr = TraceConfig::tiny().generate(2);
+        for (i, j) in tr.jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_errors() {
+        let mut cfg = TraceConfig::tiny();
+        cfg.od_project_frac = 0.9;
+        cfg.rigid_project_frac = 0.9;
+        assert!(cfg.validate().is_err());
+        let mut cfg2 = TraceConfig::tiny();
+        cfg2.min_job_size = 0;
+        assert!(cfg2.validate().is_err());
+    }
+}

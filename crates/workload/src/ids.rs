@@ -1,0 +1,43 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// Identifies a job within one trace. Ids are assigned in submission order,
+/// which also makes them a deterministic FCFS tie-breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Identifies an allocation project (the unit the paper uses to assign job
+/// types: "we group jobs by their project names and assume that all jobs
+/// belonging to one project have the same job types").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProjectId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for ProjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(JobId(7).to_string(), "J7");
+        assert_eq!(ProjectId(3).to_string(), "P3");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(JobId(2) < JobId(10));
+        assert!(ProjectId(0) < ProjectId(1));
+    }
+}

@@ -1,0 +1,219 @@
+//! Workload characterisation — the data behind the paper's Table I and
+//! Figures 3, 4, 5.
+
+use crate::job::JobKind;
+use crate::trace::Trace;
+use hws_sim::SimDuration;
+
+/// Table I-style summary of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    pub system_size: u32,
+    pub n_jobs: usize,
+    pub n_active_projects: usize,
+    pub max_work: SimDuration,
+    pub min_size: u32,
+    pub max_size: u32,
+    pub total_node_hours: f64,
+    pub n_rigid: usize,
+    pub n_on_demand: usize,
+    pub n_malleable: usize,
+}
+
+pub fn summarize(trace: &Trace) -> WorkloadSummary {
+    let mut projects = std::collections::HashSet::new();
+    let mut max_work = SimDuration::ZERO;
+    let mut min_size = u32::MAX;
+    let mut max_size = 0;
+    let mut node_hours = 0.0;
+    for j in &trace.jobs {
+        projects.insert(j.project);
+        max_work = max_work.max(j.work);
+        min_size = min_size.min(j.size);
+        max_size = max_size.max(j.size);
+        node_hours += j.work_node_hours();
+    }
+    WorkloadSummary {
+        system_size: trace.system_size,
+        n_jobs: trace.len(),
+        n_active_projects: projects.len(),
+        max_work,
+        min_size: if trace.is_empty() { 0 } else { min_size },
+        max_size,
+        total_node_hours: node_hours,
+        n_rigid: trace.count_kind(JobKind::Rigid),
+        n_on_demand: trace.count_kind(JobKind::OnDemand),
+        n_malleable: trace.count_kind(JobKind::Malleable),
+    }
+}
+
+/// One size-range slice of Fig. 3: job count (outer ring) and node-hours
+/// (inner ring).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeBucketStat {
+    pub lo: u32,
+    /// Exclusive upper bound.
+    pub hi: u32,
+    pub n_jobs: usize,
+    pub node_hours: f64,
+}
+
+impl SizeBucketStat {
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.lo, self.hi - 1)
+    }
+}
+
+/// Histogram of jobs and node-hours over doubling size buckets (Fig. 3).
+pub fn size_histogram(trace: &Trace, buckets: &[(u32, u32)]) -> Vec<SizeBucketStat> {
+    let mut out: Vec<SizeBucketStat> = buckets
+        .iter()
+        .map(|&(lo, hi)| SizeBucketStat { lo, hi, n_jobs: 0, node_hours: 0.0 })
+        .collect();
+    for j in &trace.jobs {
+        // Jobs below the first bucket (possible in scaled-down configs) fold
+        // into the first bucket; jobs above the last fold into the last.
+        let idx = out
+            .iter()
+            .position(|b| j.size >= b.lo && j.size < b.hi)
+            .unwrap_or(if j.size < out[0].lo { 0 } else { out.len() - 1 });
+        out[idx].n_jobs += 1;
+        out[idx].node_hours += j.work_node_hours();
+    }
+    out
+}
+
+/// Job-type shares by job count (the per-trace bars of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypeShares {
+    pub rigid: f64,
+    pub on_demand: f64,
+    pub malleable: f64,
+}
+
+pub fn type_shares(trace: &Trace) -> TypeShares {
+    let n = trace.len().max(1) as f64;
+    TypeShares {
+        rigid: trace.count_kind(JobKind::Rigid) as f64 / n,
+        on_demand: trace.count_kind(JobKind::OnDemand) as f64 / n,
+        malleable: trace.count_kind(JobKind::Malleable) as f64 / n,
+    }
+}
+
+/// Number of on-demand arrivals per week of the horizon (Fig. 5).
+pub fn weekly_on_demand(trace: &Trace) -> Vec<u32> {
+    let weeks = trace.horizon.as_secs().div_ceil(SimDuration::WEEK.as_secs()).max(1) as usize;
+    let mut counts = vec![0u32; weeks];
+    for j in trace.iter_kind(JobKind::OnDemand) {
+        let w = (j.submit.as_secs() / SimDuration::WEEK.as_secs()) as usize;
+        counts[w.min(weeks - 1)] += 1;
+    }
+    counts
+}
+
+/// Coefficient of variation of a series — used to quantify the burstiness
+/// visible in Fig. 5 (a Poisson-flat series has a much lower CV).
+pub fn coefficient_of_variation(series: &[u32]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().map(|&x| x as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = series.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceConfig;
+    use crate::job::JobSpecBuilder;
+    use hws_sim::SimTime;
+
+    #[test]
+    fn summary_counts_everything() {
+        let tr = TraceConfig::small().generate(1);
+        let s = summarize(&tr);
+        assert_eq!(s.n_jobs, tr.len());
+        assert_eq!(s.n_rigid + s.n_on_demand + s.n_malleable, s.n_jobs);
+        assert!(s.total_node_hours > 0.0);
+        assert!(s.min_size >= 16);
+        assert!(s.max_work <= SimDuration::from_days(1));
+    }
+
+    #[test]
+    fn size_histogram_partitions_jobs() {
+        let cfg = TraceConfig::small();
+        let tr = cfg.generate(2);
+        let hist = size_histogram(&tr, &cfg.size_buckets());
+        assert_eq!(hist.iter().map(|b| b.n_jobs).sum::<usize>(), tr.len());
+        let total_nh: f64 = hist.iter().map(|b| b.node_hours).sum();
+        assert!((total_nh - summarize(&tr).total_node_hours).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_jobs_dominate_counts_large_jobs_hold_hours() {
+        // The Fig. 3 shape: the smallest bucket has the most jobs, but its
+        // node-hour share is far below its job share.
+        let cfg = TraceConfig::theta_2019().with_jobs(8_000);
+        let tr = cfg.generate(3);
+        let hist = size_histogram(&tr, &cfg.size_buckets());
+        let total_jobs: usize = hist.iter().map(|b| b.n_jobs).sum();
+        let total_nh: f64 = hist.iter().map(|b| b.node_hours).sum();
+        let job_share0 = hist[0].n_jobs as f64 / total_jobs as f64;
+        let nh_share0 = hist[0].node_hours / total_nh;
+        assert!(job_share0 > 0.35, "smallest bucket job share {job_share0}");
+        assert!(nh_share0 < job_share0, "node-hour share should lag job share");
+    }
+
+    #[test]
+    fn type_shares_sum_to_one() {
+        let tr = TraceConfig::small().generate(4);
+        let s = type_shares(&tr);
+        assert!((s.rigid + s.on_demand + s.malleable - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekly_on_demand_counts_match_total() {
+        let tr = TraceConfig::small().generate(5);
+        let weekly = weekly_on_demand(&tr);
+        assert_eq!(weekly.len(), 5); // 30 days -> 5 weeks (ceil)
+        assert_eq!(
+            weekly.iter().map(|&c| c as usize).sum::<usize>(),
+            tr.count_kind(JobKind::OnDemand)
+        );
+    }
+
+    #[test]
+    fn on_demand_submissions_are_bursty() {
+        // Burstiness claim of Fig. 5: the weekly series has a high CV
+        // compared with a flat series.
+        let cfg = TraceConfig::theta_2019().with_jobs(6_000);
+        let tr = cfg.generate(6);
+        let weekly = weekly_on_demand(&tr);
+        let cv = coefficient_of_variation(&weekly);
+        assert!(cv > 0.3, "expected bursty weekly series, CV = {cv}");
+    }
+
+    #[test]
+    fn cv_of_flat_series_is_zero() {
+        assert_eq!(coefficient_of_variation(&[5, 5, 5, 5]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_folds_out_of_range_sizes() {
+        let jobs = vec![
+            JobSpecBuilder::rigid(0).size(2).submit_at(SimTime::ZERO).build(),
+            JobSpecBuilder::rigid(1).size(4_000).submit_at(SimTime::ZERO).build(),
+        ];
+        let tr = Trace::new(4_392, SimDuration::from_days(1), jobs);
+        let hist = size_histogram(&tr, &[(128, 256), (256, 4_393)]);
+        assert_eq!(hist[0].n_jobs, 1);
+        assert_eq!(hist[1].n_jobs, 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! The paper's motivating scenario: an experimental facility (think APS
+//! light source or an observatory) streams **bursts of time-critical
+//! analysis jobs** at an HPC centre that otherwise runs batch simulations.
+//!
+//! We hand-build the workload instead of using the generator: a steady
+//! diet of large rigid simulations and malleable parameter sweeps, plus
+//! three experiment "shots", each emitting a burst of on-demand analysis
+//! jobs with 20-minute advance notices. The question a facility operator
+//! asks: *which mechanism keeps analysis latency near zero, and what does
+//! it cost the batch users?*
+//!
+//! ```text
+//! cargo run --release --example experimental_facility
+//! ```
+
+use hybrid_workload_sched::prelude::*;
+
+const NODES: u32 = 1_024;
+
+fn build_workload() -> Trace {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    let mut push = |spec: JobSpec| jobs.push(spec);
+    let h = SimDuration::from_hours;
+    let t = |hrs: u64, mins: u64| SimTime::from_secs(hrs * 3_600 + mins * 60);
+
+    // Batch backdrop: eight 256-node simulations and six malleable sweeps
+    // submitted over the first day, enough to keep the machine busy.
+    for k in 0..8 {
+        push(
+            JobSpecBuilder::rigid(id)
+                .project(1)
+                .submit_at(t(2 * k, 0))
+                .size(256)
+                .work(h(10))
+                .estimate(h(14))
+                .setup(SimDuration::from_mins(30))
+                .build(),
+        );
+        id += 1;
+    }
+    for k in 0..6 {
+        push(
+            JobSpecBuilder::malleable(id)
+                .project(2)
+                .submit_at(t(3 * k + 1, 30))
+                .size(192)
+                .min_size(48)
+                .work(h(8))
+                .estimate(h(10))
+                .setup(SimDuration::from_mins(10))
+                .build(),
+        );
+        id += 1;
+    }
+
+    // Three experiment shots at hours 6, 14 and 22; each announces its
+    // analysis burst 20 minutes ahead and lands five 96-node jobs.
+    for (shot, hour) in [6u64, 14, 22].into_iter().enumerate() {
+        for k in 0..5u64 {
+            let arrive = t(hour, 5 * k);
+            let notice = arrive.saturating_sub(SimDuration::from_mins(20));
+            push(
+                JobSpecBuilder::on_demand(id)
+                    .project(10 + shot as u32)
+                    .submit_at(arrive)
+                    .size(96)
+                    .work(SimDuration::from_mins(45))
+                    .estimate(h(1))
+                    .notice(notice, arrive)
+                    .build(),
+            );
+            id += 1;
+        }
+    }
+    Trace::new(NODES, SimDuration::from_days(3), jobs)
+}
+
+fn main() {
+    let trace = build_workload();
+    println!(
+        "facility workload: {} jobs on {} nodes ({} on-demand analysis bursts)\n",
+        trace.len(),
+        NODES,
+        trace.count_kind(JobKind::OnDemand)
+    );
+
+    let mut table = Table::new(vec![
+        "mechanism",
+        "analysis latency (min)",
+        "instant %",
+        "batch TAT (h)",
+        "util %",
+    ]);
+    for (name, cfg) in [
+        ("FCFS/EASY (status quo)", SimConfig::baseline()),
+        ("N&PAA", SimConfig::with_mechanism(Mechanism::N_PAA)),
+        ("CUA&SPAA", SimConfig::with_mechanism(Mechanism::CUA_SPAA)),
+        ("CUP&SPAA", SimConfig::with_mechanism(Mechanism::CUP_SPAA)),
+    ] {
+        let out = Simulator::run_trace(&cfg, &trace);
+        let m = &out.metrics;
+        // Analysis latency: turnaround minus pure runtime (~45 min + setup).
+        let latency_min = (m.on_demand.avg_turnaround_h * 60.0 - 45.0).max(0.0);
+        let batch_tat = (m.rigid.avg_turnaround_h * m.rigid.completed as f64
+            + m.malleable.avg_turnaround_h * m.malleable.completed as f64)
+            / (m.rigid.completed + m.malleable.completed).max(1) as f64;
+        table.row(vec![
+            name.to_string(),
+            format!("{latency_min:.1}"),
+            format!("{:.0}", m.instant_start_rate * 100.0),
+            format!("{batch_tat:.1}"),
+            format!("{:.1}", m.utilization * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("the hybrid mechanisms turn multi-hour analysis queueing into (near-)instant starts;");
+    println!("the price shows up as a modest batch turnaround increase.");
+}

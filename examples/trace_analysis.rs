@@ -1,0 +1,73 @@
+//! Characterize a generated workload the way the paper characterizes the
+//! Theta trace (Table I, Figures 1, 3, 4, 5): size mix, core-hour
+//! distribution, job-type shares, notice categories, and on-demand
+//! burstiness — plus a CSV round-trip to show the trace interchange format.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis
+//! ```
+
+use hybrid_workload_sched::prelude::*;
+use hws_workload::stats;
+
+fn main() {
+    let cfg = TraceConfig::theta_2019().with_jobs(6_000);
+    let trace = cfg.generate(1);
+    let s = stats::summarize(&trace);
+
+    println!("== Table I style summary ==");
+    println!("  nodes            {}", s.system_size);
+    println!("  jobs             {}", s.n_jobs);
+    println!("  active projects  {}", s.n_active_projects);
+    println!("  max job length   {}", s.max_work);
+    println!("  min job size     {} nodes", s.min_size);
+    println!("  total work       {:.2}M node-hours", s.total_node_hours / 1e6);
+
+    println!("\n== Fig. 3 style: size mix ==");
+    let hist = stats::size_histogram(&trace, &cfg.size_buckets());
+    let (tj, tn): (usize, f64) = (
+        hist.iter().map(|b| b.n_jobs).sum(),
+        hist.iter().map(|b| b.node_hours).sum(),
+    );
+    for b in &hist {
+        println!(
+            "  {:>12}: {:>5.1}% of jobs, {:>5.1}% of node-hours",
+            b.label(),
+            100.0 * b.n_jobs as f64 / tj as f64,
+            100.0 * b.node_hours / tn
+        );
+    }
+
+    println!("\n== Fig. 4 style: type shares ==");
+    let ts = stats::type_shares(&trace);
+    println!(
+        "  rigid {:.1}% | on-demand {:.1}% | malleable {:.1}%",
+        ts.rigid * 100.0,
+        ts.on_demand * 100.0,
+        ts.malleable * 100.0
+    );
+
+    println!("\n== Fig. 1 style: on-demand notice categories ==");
+    for cat in NoticeCategory::ALL {
+        let n = trace
+            .iter_kind(JobKind::OnDemand)
+            .filter(|j| j.category == cat)
+            .count();
+        println!("  {:>10}: {n}", cat.label());
+    }
+
+    println!("\n== Fig. 5 style: weekly on-demand burstiness ==");
+    let weekly = stats::weekly_on_demand(&trace);
+    let cv = stats::coefficient_of_variation(&weekly);
+    let max = weekly.iter().copied().max().unwrap_or(1).max(1);
+    for (w, n) in weekly.iter().enumerate().take(20) {
+        println!("  week {:>2} |{}", w + 1, "#".repeat((n * 50 / max) as usize));
+    }
+    println!("  (showing 20 of {} weeks; weekly CV = {cv:.2})", weekly.len());
+
+    // Round-trip through the CSV interchange format.
+    let csv = trace.to_csv();
+    let reparsed = Trace::from_csv(&csv).expect("round trip");
+    assert_eq!(reparsed, trace);
+    println!("\nCSV interchange round-trip OK ({} bytes)", csv.len());
+}

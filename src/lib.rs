@@ -1,0 +1,84 @@
+//! # hybrid-workload-sched
+//!
+//! A faithful, from-scratch Rust reproduction of **"Hybrid Workload
+//! Scheduling on HPC Systems"** (Fan, Lan, Rich, Allcock, Papka —
+//! IPDPS 2022, arXiv:2109.05412): six mechanisms for co-scheduling
+//! **on-demand**, **rigid**, and **malleable** jobs on a single HPC
+//! machine, evaluated with a CQSim-style trace-driven simulator.
+//!
+//! ## The six mechanisms
+//!
+//! A mechanism pairs a strategy for an on-demand job's **advance notice**
+//! with one for its **actual arrival**:
+//!
+//! | notice ↓ / arrival → | PAA (preempt at arrival) | SPAA (shrink first) |
+//! |---|---|---|
+//! | **N** — ignore notices | `N&PAA` | `N&SPAA` |
+//! | **CUA** — collect released nodes until arrival | `CUA&PAA` | `CUA&SPAA` |
+//! | **CUP** — collect + plan preemptions for the predicted arrival | `CUP&PAA` | `CUP&SPAA` |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hybrid_workload_sched::prelude::*;
+//!
+//! // A scaled-down Theta-like workload (deterministic in the seed).
+//! let trace = TraceConfig::small().generate(42);
+//!
+//! // Schedule it with CUA&SPAA and compare against the plain
+//! // FCFS/EASY baseline.
+//! let hybrid = Simulator::run_trace(&SimConfig::with_mechanism(Mechanism::CUA_SPAA), &trace);
+//! let baseline = Simulator::run_trace(&SimConfig::baseline(), &trace);
+//!
+//! // On-demand jobs start (almost) instantly under the hybrid mechanism.
+//! assert!(hybrid.metrics.instant_start_rate >= baseline.metrics.instant_start_rate);
+//! println!("{}", hybrid.metrics.one_line());
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`hws_sim`] — discrete-event simulation kernel (clock, cancellable
+//!   event queue, engine).
+//! * [`hws_cluster`] — resource manager substrate: node states,
+//!   reservations, backfill squatting, shrink/expand, lease ledger.
+//! * [`hws_workload`] — job model and the calibrated synthetic Theta
+//!   trace generator (the real 2019 trace is proprietary; see DESIGN.md).
+//! * [`hws_core`] — queue policies, EASY backfilling, the six mechanisms,
+//!   and the trace-replay driver.
+//! * [`hws_metrics`] — the paper's §IV-D metrics and cross-seed averaging.
+//!
+//! Every table and figure of the paper regenerates from `hws-bench`
+//! binaries (`cargo run -p hws-bench --bin fig6 --release`); see
+//! EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+
+pub use hws_cluster;
+pub use hws_core;
+pub use hws_metrics;
+pub use hws_sim;
+pub use hws_workload;
+
+/// Everything needed for typical use.
+pub mod prelude {
+    pub use hws_cluster::{Cluster, LeaseLedger, NodeId};
+    pub use hws_core::{
+        ArrivalStrategy, CkptConfig, Mechanism, NoticeStrategy, PolicyKind, ShrinkStrategy,
+        SimConfig, SimOutcome, Simulator, VictimOrder,
+    };
+    pub use hws_metrics::{Metrics, MetricsAvg, Recorder, Table};
+    pub use hws_sim::{SimDuration, SimTime};
+    pub use hws_workload::{
+        job::JobSpecBuilder, JobId, JobKind, JobSpec, NoticeCategory, NoticeMix, Trace, TraceConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_complete_workflow() {
+        let trace = TraceConfig::tiny().generate(0);
+        let out = Simulator::run_trace(&SimConfig::with_mechanism(Mechanism::N_PAA), &trace);
+        assert!(out.metrics.completed_jobs > 0);
+    }
+}

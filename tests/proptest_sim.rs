@@ -1,0 +1,134 @@
+//! Property tests over the whole stack: arbitrary hand-built workloads
+//! replay under every mechanism without violating the simulator's global
+//! invariants.
+
+use hybrid_workload_sched::prelude::*;
+use hws_sim::{SimDuration as D, SimTime as T};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ArbJob {
+    kind: u8,
+    submit: u64,
+    size: u32,
+    work: u64,
+    est_slack: u64,
+    setup_pct: u64,
+    notice_lead: Option<u64>,
+}
+
+fn arb_job() -> impl Strategy<Value = ArbJob> {
+    (
+        0..3u8,
+        0..200_000u64,
+        1..64u32,
+        60..20_000u64,
+        0..10_000u64,
+        0..10u64,
+        proptest::option::of(900..1_800u64),
+    )
+        .prop_map(|(kind, submit, size, work, est_slack, setup_pct, notice_lead)| ArbJob {
+            kind,
+            submit,
+            size,
+            work,
+            est_slack,
+            setup_pct,
+            notice_lead,
+        })
+}
+
+fn build_trace(jobs: Vec<ArbJob>) -> Trace {
+    let specs: Vec<JobSpec> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let setup = D::from_secs(a.work * a.setup_pct / 100);
+            let mut b = match a.kind {
+                0 => JobSpecBuilder::rigid(i as u64),
+                1 => JobSpecBuilder::malleable(i as u64),
+                _ => JobSpecBuilder::on_demand(i as u64),
+            }
+            .submit_at(T::from_secs(a.submit))
+            .size(a.size)
+            .work(D::from_secs(a.work))
+            .estimate(D::from_secs(a.work + a.est_slack))
+            .setup(setup);
+            if a.kind == 1 {
+                b = b.min_size((a.size / 5).max(1));
+            }
+            if a.kind == 2 {
+                if let Some(lead) = a.notice_lead {
+                    let notice = T::from_secs(a.submit.saturating_sub(lead));
+                    // Accurate notice (submit == predicted).
+                    b = b.notice(notice, T::from_secs(a.submit));
+                }
+            }
+            b.build()
+        })
+        .collect();
+    Trace::new(64, D::from_days(30), specs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_workloads_satisfy_global_invariants(
+        jobs in proptest::collection::vec(arb_job(), 1..40),
+        mech_idx in 0..6usize,
+    ) {
+        let trace = build_trace(jobs);
+        prop_assert_eq!(trace.validate(), Ok(()));
+        let mechanism = Mechanism::ALL_SIX[mech_idx];
+        let cfg = SimConfig::with_mechanism(mechanism).paranoid();
+        let out = Simulator::run_trace(&cfg, &trace);
+        let m = &out.metrics;
+
+        // Every job terminates (completes; estimates >= work, so no kills).
+        prop_assert_eq!(m.completed_jobs + m.killed_jobs, trace.len());
+        prop_assert_eq!(m.killed_jobs, 0);
+        // Conservation: useful work cannot exceed occupancy or capacity.
+        prop_assert!(m.utilization <= m.raw_occupancy + 1e-9);
+        prop_assert!(m.utilization <= 1.0 + 1e-9);
+        prop_assert!(m.raw_occupancy <= 1.0 + 1e-9);
+        // Rates are probabilities.
+        for r in [
+            m.instant_start_rate,
+            m.strict_instant_rate,
+            m.rigid.preemption_ratio,
+            m.malleable.preemption_ratio,
+        ] {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+        // Strict instant is at most the thresholded instant rate.
+        prop_assert!(m.strict_instant_rate <= m.instant_start_rate + 1e-9);
+        // On-demand jobs are never preempted.
+        prop_assert_eq!(m.on_demand.preemption_ratio, 0.0);
+    }
+
+    #[test]
+    fn baseline_turnaround_lower_bounds_runtime(
+        jobs in proptest::collection::vec(arb_job(), 1..25),
+    ) {
+        let trace = build_trace(jobs);
+        let out = Simulator::run_trace(&SimConfig::baseline().paranoid(), &trace);
+        // Mean turnaround can never be below the mean pure work time
+        // (setup only adds to it).
+        let mean_work_h = trace
+            .jobs
+            .iter()
+            .map(|j| j.work.as_secs() as f64 / 3_600.0)
+            .sum::<f64>()
+            / trace.len() as f64;
+        prop_assert!(out.metrics.avg_turnaround_h >= mean_work_h - 1e-9);
+    }
+
+    #[test]
+    fn generated_traces_replay_under_every_mechanism(seed in 0..24u64) {
+        let trace = TraceConfig::tiny().generate(seed);
+        let mechanism = Mechanism::ALL_SIX[(seed % 6) as usize];
+        let out = Simulator::run_trace(&SimConfig::with_mechanism(mechanism).paranoid(), &trace);
+        prop_assert_eq!(out.metrics.completed_jobs, trace.len());
+    }
+}

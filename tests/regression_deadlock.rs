@@ -1,0 +1,112 @@
+//! Regression: a reservation deadlock found by the whole-stack property
+//! test (`proptest_sim.rs`). Sequence distilled from the minimal failing
+//! input:
+//!
+//! 1. On-demand J1 (57 nodes) preempts rigid J0 (40 nodes) and finishes at
+//!    t=68,696 — the *same instant* on-demand J3 (32 nodes) arrives.
+//! 2. J3's `Submit` is processed first (lower event sequence number): only
+//!    7 nodes are free, the only running job is an on-demand job (never a
+//!    victim), so J3 waits at the queue front with a partial claim.
+//! 3. J1's `Finish` then settles its lease: 33 nodes go back to J0 as a
+//!    private reservation, and J3's claim collects the remaining free
+//!    nodes — J0 holds 33, J3 holds 31, zero free, **nothing running, no
+//!    event pending**: a deadlock, two jobs hoarding the whole machine.
+//!
+//! The fix: reservations are subordinate to queue priority — a blocked
+//! head may raid lower-ranked waiting jobs' private reservations
+//! (DESIGN.md §2, "Deadlock avoidance").
+
+use hybrid_workload_sched::prelude::*;
+use hws_sim::{SimDuration as D, SimTime as T};
+
+#[test]
+fn reservation_hoarding_cannot_deadlock() {
+    let jobs = vec![
+        JobSpecBuilder::rigid(0)
+            .submit_at(T::from_secs(7_926))
+            .size(40)
+            .work(D::from_secs(17_880))
+            .estimate(D::from_secs(17_880))
+            .setup(D::from_secs(536))
+            .build(),
+        JobSpecBuilder::on_demand(1)
+            .submit_at(T::from_secs(56_537))
+            .size(57)
+            .work(D::from_secs(11_259))
+            .estimate(D::from_secs(11_259))
+            .setup(D::from_secs(900))
+            .build(),
+        JobSpecBuilder::on_demand(2)
+            .submit_at(T::from_secs(201))
+            .size(25)
+            .work(D::from_secs(17_294))
+            .estimate(D::from_secs(24_510))
+            .setup(D::from_secs(1_210))
+            .build(),
+        JobSpecBuilder::on_demand(3)
+            .submit_at(T::from_secs(68_696))
+            .size(32)
+            .work(D::from_secs(2_980))
+            .estimate(D::from_secs(8_421))
+            .setup(D::from_secs(208))
+            .notice(T::from_secs(66_911), T::from_secs(68_696))
+            .build(),
+        JobSpecBuilder::on_demand(4)
+            .submit_at(T::from_secs(37_121))
+            .size(51)
+            .work(D::from_secs(7_939))
+            .estimate(D::from_secs(9_489))
+            .setup(D::from_secs(396))
+            .notice(T::from_secs(35_446), T::from_secs(37_121))
+            .build(),
+    ];
+    let trace = Trace::new(64, D::from_days(30), jobs);
+    // The original failure was under N&SPAA; check every mechanism.
+    for mechanism in Mechanism::ALL_SIX {
+        let cfg = SimConfig::with_mechanism(mechanism).paranoid();
+        let out = Simulator::run_trace(&cfg, &trace);
+        assert_eq!(
+            out.metrics.completed_jobs, 5,
+            "{mechanism}: all five jobs must complete (deadlock?)"
+        );
+    }
+}
+
+#[test]
+fn two_preempted_lenders_cannot_deadlock_each_other() {
+    // Symmetric variant: two big rigid jobs both preempted by on-demand
+    // jobs; their private lease returns together cover the machine but
+    // neither alone can restart.
+    let jobs = vec![
+        JobSpecBuilder::rigid(0)
+            .submit_at(T::from_secs(0))
+            .size(60)
+            .work(D::from_secs(30_000))
+            .estimate(D::from_secs(30_000))
+            .build(),
+        JobSpecBuilder::rigid(1)
+            .submit_at(T::from_secs(10))
+            .size(40)
+            .work(D::from_secs(30_000))
+            .estimate(D::from_secs(30_000))
+            .build(),
+        JobSpecBuilder::on_demand(2)
+            .submit_at(T::from_secs(5_000))
+            .size(55)
+            .work(D::from_secs(2_000))
+            .estimate(D::from_secs(3_000))
+            .build(),
+        JobSpecBuilder::on_demand(3)
+            .submit_at(T::from_secs(5_100))
+            .size(35)
+            .work(D::from_secs(2_000))
+            .estimate(D::from_secs(3_000))
+            .build(),
+    ];
+    let trace = Trace::new(100, D::from_days(7), jobs);
+    for mechanism in [Mechanism::N_PAA, Mechanism::CUA_SPAA] {
+        let cfg = SimConfig::with_mechanism(mechanism).paranoid();
+        let out = Simulator::run_trace(&cfg, &trace);
+        assert_eq!(out.metrics.completed_jobs, 4, "{mechanism}");
+    }
+}
