@@ -11,7 +11,9 @@ fn releases(n: usize) -> Vec<(SimTime, u32)> {
     (0..n)
         .map(|i| {
             (
-                SimTime::from_secs(((i as u64).wrapping_mul(6_364_136_223_846_793_005) % 86_400) + 1),
+                SimTime::from_secs(
+                    ((i as u64).wrapping_mul(6_364_136_223_846_793_005) % 86_400) + 1,
+                ),
                 8 + (i as u32 * 31) % 256,
             )
         })

@@ -7,7 +7,9 @@
 //! that needs victim selection / shrink planning / CUP planning.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use hws_core::mechanism::{plan_cup, plan_shrinks, select_victims, CupCandidate, ShrinkInfo, VictimInfo};
+use hws_core::mechanism::{
+    plan_cup, plan_shrinks, select_victims, CupCandidate, ShrinkInfo, VictimInfo,
+};
 use hws_core::{ShrinkStrategy, VictimOrder};
 use hws_sim::SimTime;
 use hws_workload::JobId;

@@ -31,7 +31,14 @@ fn row_of(m: &Metrics) -> Vec<String> {
     ]
 }
 
-const HEADER: [&str; 6] = ["variant", "TAT (h)", "util %", "instant %", "wasted %", "preempt r/m %"];
+const HEADER: [&str; 6] = [
+    "variant",
+    "TAT (h)",
+    "util %",
+    "instant %",
+    "wasted %",
+    "preempt r/m %",
+];
 
 fn main() {
     let scale = Scale::from_env();
@@ -46,7 +53,10 @@ fn main() {
 
     // 1. Backfill on reserved nodes.
     let mut t = Table::new(HEADER.to_vec());
-    for (name, on) in [("reserved backfill ON (paper)", true), ("reserved backfill OFF", false)] {
+    for (name, on) in [
+        ("reserved backfill ON (paper)", true),
+        ("reserved backfill OFF", false),
+    ] {
         let mut cfg = SimConfig::with_mechanism(Mechanism::CUA_SPAA);
         cfg.backfill_on_reserved = on;
         t.row(with_name(name, &run_averaged(&cfg, &tcfg, seeds)));
@@ -89,7 +99,10 @@ fn main() {
         // Keep the instant criterion fixed at the paper's 2 minutes so the
         // variants are comparable.
         cfg.instant_threshold = SimDuration::from_secs(120);
-        let label = format!("{secs} s warning{}", if secs == 120 { " (paper)" } else { "" });
+        let label = format!(
+            "{secs} s warning{}",
+            if secs == 120 { " (paper)" } else { "" }
+        );
         t.row(with_name(&label, &run_averaged(&cfg, &tcfg, seeds)));
     }
     println!("ABLATION 4: malleable preemption warning (N&PAA)");
@@ -99,7 +112,15 @@ fn main() {
     let mut t = Table::new(HEADER.to_vec());
     for p in PolicyKind::ALL {
         let cfg = SimConfig::with_mechanism(Mechanism::CUA_SPAA).policy(p);
-        let label = format!("{}{}", p.name(), if p == PolicyKind::Fcfs { " (paper)" } else { "" });
+        let label = format!(
+            "{}{}",
+            p.name(),
+            if p == PolicyKind::Fcfs {
+                " (paper)"
+            } else {
+                ""
+            }
+        );
         t.row(with_name(&label, &run_averaged(&cfg, &tcfg, seeds)));
     }
     println!("ABLATION 5: queue policy under CUA&SPAA");

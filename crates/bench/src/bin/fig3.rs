@@ -7,7 +7,10 @@ use hws_metrics::Table;
 use hws_workload::{stats, TraceConfig};
 
 fn main() {
-    let seed = std::env::var("HWS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let seed = std::env::var("HWS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let cfg = TraceConfig::theta_2019();
     let trace = cfg.generate(seed);
     let hist = stats::size_histogram(&trace, &cfg.size_buckets());

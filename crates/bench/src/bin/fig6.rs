@@ -25,7 +25,13 @@ fn main() {
     );
 
     println!("TABLE III: on-demand notice distribution per workload");
-    let mut t3 = Table::new(vec!["", "No Notice", "Accurate Notice", "Arrive Early", "Arrive Late"]);
+    let mut t3 = Table::new(vec![
+        "",
+        "No Notice",
+        "Accurate Notice",
+        "Arrive Early",
+        "Arrive Late",
+    ]);
     for (name, mix) in hws_workload::NoticeMix::TABLE3 {
         t3.row(vec![
             name.to_string(),
@@ -42,20 +48,36 @@ fn main() {
 
     type Panel = (&'static str, fn(&Metrics) -> String);
     let metric_panels: [Panel; 8] = [
-        ("avg job turnaround (h)", |m| format!("{:.1}", m.avg_turnaround_h)),
-        ("rigid turnaround (h)", |m| format!("{:.1}", m.rigid.avg_turnaround_h)),
-        ("malleable turnaround (h)", |m| format!("{:.1}", m.malleable.avg_turnaround_h)),
-        ("on-demand turnaround (h)", |m| format!("{:.2}", m.on_demand.avg_turnaround_h)),
-        ("system utilization (%)", |m| format!("{:.1}", m.utilization * 100.0)),
-        ("on-demand instant start (%)", |m| format!("{:.1}", m.instant_start_rate * 100.0)),
-        ("rigid preemption ratio (%)", |m| format!("{:.1}", m.rigid.preemption_ratio * 100.0)),
+        ("avg job turnaround (h)", |m| {
+            format!("{:.1}", m.avg_turnaround_h)
+        }),
+        ("rigid turnaround (h)", |m| {
+            format!("{:.1}", m.rigid.avg_turnaround_h)
+        }),
+        ("malleable turnaround (h)", |m| {
+            format!("{:.1}", m.malleable.avg_turnaround_h)
+        }),
+        ("on-demand turnaround (h)", |m| {
+            format!("{:.2}", m.on_demand.avg_turnaround_h)
+        }),
+        ("system utilization (%)", |m| {
+            format!("{:.1}", m.utilization * 100.0)
+        }),
+        ("on-demand instant start (%)", |m| {
+            format!("{:.1}", m.instant_start_rate * 100.0)
+        }),
+        ("rigid preemption ratio (%)", |m| {
+            format!("{:.1}", m.rigid.preemption_ratio * 100.0)
+        }),
         ("malleable preemption ratio (%)", |m| {
             format!("{:.1}", m.malleable.preemption_ratio * 100.0)
         }),
     ];
 
     for (title, fmt) in metric_panels {
-        let mut t = Table::new(vec!["workload", "N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA", "CUP&PAA", "CUP&SPAA"]);
+        let mut t = Table::new(vec![
+            "workload", "N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA", "CUP&PAA", "CUP&SPAA",
+        ]);
         for (wname, _) in hws_workload::NoticeMix::TABLE3 {
             let mut cells = vec![wname.to_string()];
             for m in Mechanism::ALL_SIX {
@@ -68,7 +90,10 @@ fn main() {
             }
             t.row(cells);
         }
-        println!("FIGURE 6 panel: {title}   [baseline FCFS/EASY: {}]", fmt(&baseline));
+        println!(
+            "FIGURE 6 panel: {title}   [baseline FCFS/EASY: {}]",
+            fmt(&baseline)
+        );
         println!("{}", t.render());
     }
 
@@ -123,7 +148,7 @@ fn run_observation_checks(baseline: &Metrics, rows: &[(&str, Mechanism, Metrics)
     // shrink cost lands on the batch classes (rigid turnaround grows).
     // Note: in this reproduction the malleable class *gains* so much from
     // flexible sizing that the overall average does not rise the way the
-    // paper's does — see EXPERIMENTS.md for the analysis.
+    // paper's does — see DESIGN.md §6 for the analysis.
     let all_instant = avg(rows, instant);
     check(
         "Obs 1a: instant-start far above baseline",
@@ -145,12 +170,16 @@ fn run_observation_checks(baseline: &Metrics, rows: &[(&str, Mechanism, Metrics)
     // reproduction the six mechanisms sit within noise of each other on
     // these two aggregates (preemption events are rare at calibrated
     // load), so the check allows a small tolerance band.
-    let worst_tat = M::ALL_SIX.iter().fold(f64::MIN, |a, &m| a.max(mech_avg(rows, m, tat)));
+    let worst_tat = M::ALL_SIX
+        .iter()
+        .fold(f64::MIN, |a, &m| a.max(mech_avg(rows, m, tat)));
     check(
         "Obs 2a: N&PAA within the worst avg-turnaround band",
         mech_avg(rows, M::N_PAA, tat) >= worst_tat - 0.5,
     );
-    let worst_util = M::ALL_SIX.iter().fold(f64::MAX, |a, &m| a.min(mech_avg(rows, m, util)));
+    let worst_util = M::ALL_SIX
+        .iter()
+        .fold(f64::MAX, |a, &m| a.min(mech_avg(rows, m, util)));
     check(
         "Obs 2b: N&PAA within the worst utilization band",
         mech_avg(rows, M::N_PAA, util) <= worst_util + 0.01,
@@ -165,7 +194,10 @@ fn run_observation_checks(baseline: &Metrics, rows: &[(&str, Mechanism, Metrics)
         + mech_avg(rows, M::CUA_PAA, mal_pr)
         + mech_avg(rows, M::CUP_PAA, mal_pr))
         / 3.0;
-    check("Obs 3: SPAA lowers malleable preemption ratio", spaa_mal < paa_mal);
+    check(
+        "Obs 3: SPAA lowers malleable preemption ratio",
+        spaa_mal < paa_mal,
+    );
 
     // Obs 5: CUA beats CUP on turnaround/utilization on average.
     let cua = (mech_avg(rows, M::CUA_PAA, tat) + mech_avg(rows, M::CUA_SPAA, tat)) / 2.0;
@@ -176,20 +208,31 @@ fn run_observation_checks(baseline: &Metrics, rows: &[(&str, Mechanism, Metrics)
     let incentive = [M::CUA_PAA, M::CUA_SPAA, M::CUP_PAA, M::CUP_SPAA]
         .iter()
         .all(|&m| mech_avg(rows, m, mal_tat) < mech_avg(rows, m, rigid_tat));
-    check("Obs 6: malleable TAT < rigid TAT under CUA/CUP mechanisms", incentive);
+    check(
+        "Obs 6: malleable TAT < rigid TAT under CUA/CUP mechanisms",
+        incentive,
+    );
 
     // Obs 7: N&SPAA achieves the lowest rigid turnaround of the six.
-    let best_rigid = M::ALL_SIX.iter().fold(f64::MAX, |a, &m| a.min(mech_avg(rows, m, rigid_tat)));
+    let best_rigid = M::ALL_SIX
+        .iter()
+        .fold(f64::MAX, |a, &m| a.min(mech_avg(rows, m, rigid_tat)));
     check(
         "Obs 7: N&SPAA lowest rigid turnaround",
         mech_avg(rows, M::N_SPAA, rigid_tat) <= best_rigid * 1.05,
     );
 
     // Obs 8: malleable preemption ratio > rigid preemption ratio overall.
-    check("Obs 8: malleable preempted more often than rigid", avg(rows, mal_pr) > avg(rows, rigid_pr));
+    check(
+        "Obs 8: malleable preempted more often than rigid",
+        avg(rows, mal_pr) > avg(rows, rigid_pr),
+    );
 
     // Obs 9: very high instant start everywhere.
-    check("Obs 9: instant start rate > 90% for every cell", rows.iter().all(|(_, _, m)| m.instant_start_rate > 0.9));
+    check(
+        "Obs 9: instant start rate > 90% for every cell",
+        rows.iter().all(|(_, _, m)| m.instant_start_rate > 0.9),
+    );
 
     // Obs 10: decisions are fast.
     check(
@@ -210,7 +253,10 @@ fn run_observation_checks(baseline: &Metrics, rows: &[(&str, Mechanism, Metrics)
         .map(|(_, _, m)| m.utilization)
         .sum::<f64>()
         / 2.0;
-    check("Obs 11: CUP utilization W2 (accurate) >= W1 (no notice)", cup_w2 >= cup_w1 - 0.005);
+    check(
+        "Obs 11: CUP utilization W2 (accurate) >= W1 (no notice)",
+        cup_w2 >= cup_w1 - 0.005,
+    );
 
     // Obs 12: CUA best turnaround on W4 (longest lead time).
     let cua_by_w = |w: &str| {
@@ -221,8 +267,14 @@ fn run_observation_checks(baseline: &Metrics, rows: &[(&str, Mechanism, Metrics)
             / 2.0
     };
     let w4 = cua_by_w("W4");
-    let others = ["W1", "W2", "W3", "W5"].iter().map(|w| cua_by_w(w)).fold(f64::MAX, f64::min);
-    check("Obs 12: CUA turnaround on W4 <= other workloads", w4 <= others + 0.5);
+    let others = ["W1", "W2", "W3", "W5"]
+        .iter()
+        .map(|w| cua_by_w(w))
+        .fold(f64::MAX, f64::min);
+    check(
+        "Obs 12: CUA turnaround on W4 <= other workloads",
+        w4 <= others + 0.5,
+    );
 
     println!("observations: {pass}/{total} PASS");
 }

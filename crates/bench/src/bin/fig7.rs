@@ -32,13 +32,29 @@ fn main() {
 
     type Panel = (&'static str, fn(&Metrics) -> String);
     let panels: [Panel; 4] = [
-        ("rigid turnaround (h)", |m| format!("{:.1}", m.rigid.avg_turnaround_h)),
-        ("avg turnaround (h)", |m| format!("{:.1}", m.avg_turnaround_h)),
-        ("system utilization (%)", |m| format!("{:.1}", m.utilization * 100.0)),
-        ("rigid preemption ratio (%)", |m| format!("{:.1}", m.rigid.preemption_ratio * 100.0)),
+        ("rigid turnaround (h)", |m| {
+            format!("{:.1}", m.rigid.avg_turnaround_h)
+        }),
+        ("avg turnaround (h)", |m| {
+            format!("{:.1}", m.avg_turnaround_h)
+        }),
+        ("system utilization (%)", |m| {
+            format!("{:.1}", m.utilization * 100.0)
+        }),
+        ("rigid preemption ratio (%)", |m| {
+            format!("{:.1}", m.rigid.preemption_ratio * 100.0)
+        }),
     ];
     for (title, fmt) in panels {
-        let mut t = Table::new(vec!["ckpt interval", "N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA", "CUP&PAA", "CUP&SPAA"]);
+        let mut t = Table::new(vec![
+            "ckpt interval",
+            "N&PAA",
+            "N&SPAA",
+            "CUA&PAA",
+            "CUA&SPAA",
+            "CUP&PAA",
+            "CUP&SPAA",
+        ]);
         for &f in &factors {
             let mut cells = vec![format!("{:.0}% of Daly", f * 100.0)];
             for m in Mechanism::ALL_SIX {

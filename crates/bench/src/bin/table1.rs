@@ -7,21 +7,56 @@ use hws_metrics::Table;
 use hws_workload::{stats, TraceConfig};
 
 fn main() {
-    let seed = std::env::var("HWS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let seed = std::env::var("HWS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let cfg = TraceConfig::theta_2019();
     let trace = cfg.generate(seed);
     trace.validate().expect("generated trace is valid");
     let s = stats::summarize(&trace);
 
     let mut t = Table::new(vec!["Property", "Synthetic trace", "Theta 2019 (paper)"]);
-    t.row(vec!["Location".into(), "synthetic (calibrated)".to_string(), "ALCF".into()]);
-    t.row(vec!["Scheduler".into(), "hws-core (CQSim-like)".to_string(), "Cobalt".into()]);
-    t.row(vec!["Compute Nodes".into(), format!("{}", s.system_size), "4,392 KNL".into()]);
-    t.row(vec!["Trace Period".into(), "365 days".to_string(), "Jan. - Dec. 2019".into()]);
-    t.row(vec!["Number of Jobs".into(), format!("{}", s.n_jobs), "37,298".into()]);
-    t.row(vec!["Number of Projects".into(), format!("{}", s.n_active_projects), "211".into()]);
-    t.row(vec!["Maximum Job Length".into(), format!("{}", s.max_work), "1 day".into()]);
-    t.row(vec!["Minimum Job Size".into(), format!("{} nodes", s.min_size), "128 nodes".into()]);
+    t.row(vec![
+        "Location".into(),
+        "synthetic (calibrated)".to_string(),
+        "ALCF".into(),
+    ]);
+    t.row(vec![
+        "Scheduler".into(),
+        "hws-core (CQSim-like)".to_string(),
+        "Cobalt".into(),
+    ]);
+    t.row(vec![
+        "Compute Nodes".into(),
+        format!("{}", s.system_size),
+        "4,392 KNL".into(),
+    ]);
+    t.row(vec![
+        "Trace Period".into(),
+        "365 days".to_string(),
+        "Jan. - Dec. 2019".into(),
+    ]);
+    t.row(vec![
+        "Number of Jobs".into(),
+        format!("{}", s.n_jobs),
+        "37,298".into(),
+    ]);
+    t.row(vec![
+        "Number of Projects".into(),
+        format!("{}", s.n_active_projects),
+        "211".into(),
+    ]);
+    t.row(vec![
+        "Maximum Job Length".into(),
+        format!("{}", s.max_work),
+        "1 day".into(),
+    ]);
+    t.row(vec![
+        "Minimum Job Size".into(),
+        format!("{} nodes", s.min_size),
+        "128 nodes".into(),
+    ]);
     println!("TABLE I: Theta workload (seed {seed})");
     println!("{}", t.render());
     println!(

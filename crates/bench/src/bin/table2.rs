@@ -17,11 +17,18 @@ fn main() {
     let scale = Scale::from_env();
     let seeds = seeds_from_env();
     let tcfg = scale.trace_config();
-    eprintln!("table2: scale {scale:?}, {seeds} seeds, {} jobs/trace", tcfg.target_jobs);
+    eprintln!(
+        "table2: scale {scale:?}, {seeds} seeds, {} jobs/trace",
+        tcfg.target_jobs
+    );
 
     let m = run_averaged(&SimConfig::baseline(), &tcfg, seeds);
 
-    let mut t = Table::new(vec!["Avg. Turnaround", "System Util.", "On-demand Jobs' Instant Start Rate"]);
+    let mut t = Table::new(vec![
+        "Avg. Turnaround",
+        "System Util.",
+        "On-demand Jobs' Instant Start Rate",
+    ]);
     t.row(vec![
         format!("{:.1} hours", m.avg_turnaround_h),
         format!("{:.2}%", m.utilization * 100.0),

@@ -68,25 +68,16 @@ pub fn seeds_from_env() -> u64 {
 }
 
 /// Run `cfg` over `seeds` independently generated traces in parallel and
-/// average the metrics (the paper's averaging protocol).
+/// average the metrics (the paper's averaging protocol). Routed through
+/// [`Simulator::run_sweep`], which fans the seeds across CPU cores while
+/// keeping every per-seed result bitwise identical to a sequential run.
 pub fn run_averaged(sim_cfg: &SimConfig, trace_cfg: &TraceConfig, seeds: u64) -> Metrics {
     assert!(seeds > 0);
-    let metrics: Vec<Metrics> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..seeds)
-            .map(|seed| {
-                let sim_cfg = sim_cfg.clone();
-                let trace_cfg = trace_cfg.clone();
-                scope.spawn(move || {
-                    let trace = trace_cfg.generate(seed);
-                    Simulator::run_trace(&sim_cfg, &trace).metrics
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
-    });
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let outcomes = Simulator::run_sweep(sim_cfg, trace_cfg, &seed_list);
     let mut avg = MetricsAvg::new();
-    for m in &metrics {
-        avg.push(m);
+    for outcome in &outcomes {
+        avg.push(&outcome.metrics);
     }
     avg.mean()
 }

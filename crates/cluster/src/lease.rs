@@ -111,7 +111,14 @@ mod tests {
         l.record(j(9), j(1), 2, true);
         l.record(j(9), j(1), 3, true);
         let leases = l.settle(j(9));
-        assert_eq!(leases, vec![Lease { lender: j(1), nodes: 5, by_preemption: true }]);
+        assert_eq!(
+            leases,
+            vec![Lease {
+                lender: j(1),
+                nodes: 5,
+                by_preemption: true
+            }]
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ impl Cluster {
 
     /// Idle nodes reserved for `holder`.
     pub fn reserved_idle_count(&self, holder: JobId) -> u32 {
-        self.reserved_idle.get(&holder).map_or(0, |v| v.len() as u32)
+        self.reserved_idle
+            .get(&holder)
+            .map_or(0, |v| v.len() as u32)
     }
 
     /// Idle reserved nodes across all holders.
@@ -455,7 +457,9 @@ impl Cluster {
         }
         let alloc_total: usize = self.alloc.values().map(|v| v.len()).sum();
         if alloc_total as u32 != busy {
-            return Err(format!("alloc index ({alloc_total}) != busy nodes ({busy})"));
+            return Err(format!(
+                "alloc index ({alloc_total}) != busy nodes ({busy})"
+            ));
         }
         for id in &self.free_list {
             if self.nodes[id.index()] != NodeState::Free {
@@ -565,7 +569,9 @@ mod tests {
         assert_eq!(c.free_count(), 0);
         // Without reserved access there is no room.
         assert!(c.allocate_backfill(j(2), 3, |_| false).is_none());
-        let squat = c.allocate_backfill(j(2), 3, |_| true).expect("fits on reserved");
+        let squat = c
+            .allocate_backfill(j(2), 3, |_| true)
+            .expect("fits on reserved");
         assert_eq!(squat, vec![(j(9), 3)]);
         assert_eq!(c.reserved_idle_count(j(9)), 2);
         assert_eq!(c.squatters(j(9)), vec![(j(2), 3)]);
@@ -611,7 +617,7 @@ mod tests {
         c.allocate(j(1), 4);
         c.reserve(j(9), 2);
         c.allocate_backfill(j(2), 6, |_| true).expect("fits"); // 4 free + 2 reserved
-        // Shrinking by 3 surrenders plain nodes only.
+                                                               // Shrinking by 3 surrenders plain nodes only.
         let out = c.shrink(j(2), 3);
         assert_eq!(out.to_free, 3);
         assert!(out.to_reservations.is_empty());

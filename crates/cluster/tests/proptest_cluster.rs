@@ -7,22 +7,48 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Allocate { job: u64, k: u32 },
-    AllocateWithReserved { job: u64, k: u32 },
-    Backfill { job: u64, k: u32, use_reserved: bool },
-    Release { job: u64 },
-    Shrink { job: u64, k: u32 },
-    Expand { job: u64, k: u32 },
-    Reserve { holder: u64, k: u32 },
-    ReleaseReservation { holder: u64 },
+    Allocate {
+        job: u64,
+        k: u32,
+    },
+    AllocateWithReserved {
+        job: u64,
+        k: u32,
+    },
+    Backfill {
+        job: u64,
+        k: u32,
+        use_reserved: bool,
+    },
+    Release {
+        job: u64,
+    },
+    Shrink {
+        job: u64,
+        k: u32,
+    },
+    Expand {
+        job: u64,
+        k: u32,
+    },
+    Reserve {
+        holder: u64,
+        k: u32,
+    },
+    ReleaseReservation {
+        holder: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..24u64, 1..16u32).prop_map(|(job, k)| Op::Allocate { job, k }),
         (0..24u64, 1..16u32).prop_map(|(job, k)| Op::AllocateWithReserved { job, k }),
-        (0..24u64, 1..16u32, any::<bool>())
-            .prop_map(|(job, k, use_reserved)| Op::Backfill { job, k, use_reserved }),
+        (0..24u64, 1..16u32, any::<bool>()).prop_map(|(job, k, use_reserved)| Op::Backfill {
+            job,
+            k,
+            use_reserved
+        }),
         (0..24u64).prop_map(|job| Op::Release { job }),
         (0..24u64, 1..8u32).prop_map(|(job, k)| Op::Shrink { job, k }),
         (0..24u64, 1..8u32).prop_map(|(job, k)| Op::Expand { job, k }),
@@ -43,7 +69,11 @@ fn apply(c: &mut Cluster, op: &Op) {
                 let _ = c.allocate_with_reserved(JobId(job), k);
             }
         }
-        Op::Backfill { job, k, use_reserved } => {
+        Op::Backfill {
+            job,
+            k,
+            use_reserved,
+        } => {
             if !c.is_running(JobId(job)) {
                 let _ = c.allocate_backfill(JobId(job), k, |_| use_reserved);
             }

@@ -65,7 +65,7 @@ mod tests {
 
     #[test]
     fn shadow_now_when_head_fits() {
-        let s = compute_shadow(&mut vec![(t(100), 4)], 10, 8);
+        let s = compute_shadow(&mut [(t(100), 4)], 10, 8);
         assert_eq!(s.time, SimTime::ZERO);
         assert_eq!(s.extra, 2);
     }
@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn backfill_admission_by_time() {
-        let shadow = Shadow { time: t(1_000), extra: 0 };
+        let shadow = Shadow {
+            time: t(1_000),
+            extra: 0,
+        };
         assert!(may_backfill(4, t(900), 5, shadow));
         assert!(may_backfill(4, t(1_000), 5, shadow)); // boundary allowed
         assert!(!may_backfill(4, t(1_001), 5, shadow));
@@ -105,7 +108,10 @@ mod tests {
 
     #[test]
     fn backfill_admission_by_extra_nodes() {
-        let shadow = Shadow { time: t(1_000), extra: 4 };
+        let shadow = Shadow {
+            time: t(1_000),
+            extra: 4,
+        };
         // Runs past the shadow but fits in the extra nodes.
         assert!(may_backfill(4, t(99_999), 5, shadow));
         assert!(!may_backfill(5, t(99_999), 5, shadow));
@@ -113,7 +119,10 @@ mod tests {
 
     #[test]
     fn backfill_requires_current_fit() {
-        let shadow = Shadow { time: SimTime::MAX, extra: 100 };
+        let shadow = Shadow {
+            time: SimTime::MAX,
+            extra: 100,
+        };
         assert!(!may_backfill(6, t(10), 5, shadow));
     }
 }

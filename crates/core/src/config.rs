@@ -1,6 +1,7 @@
 //! Scheduler configuration: the mechanism matrix and all model constants.
 
 use crate::ckpt::CkptConfig;
+use crate::driver::{HooksHandle, MechanismHooks};
 use crate::failure::FailureConfig;
 use crate::policy::PolicyKind;
 use hws_sim::SimDuration;
@@ -46,15 +47,37 @@ pub enum Mechanism {
         notice: NoticeStrategy,
         arrival: ArrivalStrategy,
     },
+    /// A user-registered mechanism: behavior comes from the
+    /// [`MechanismHooks`] in [`SimConfig::hooks`] (see
+    /// [`SimConfig::with_hooks`]).
+    Custom,
 }
 
 impl Mechanism {
-    pub const N_PAA: Mechanism = Mechanism::Hybrid { notice: NoticeStrategy::None, arrival: ArrivalStrategy::Paa };
-    pub const N_SPAA: Mechanism = Mechanism::Hybrid { notice: NoticeStrategy::None, arrival: ArrivalStrategy::Spaa };
-    pub const CUA_PAA: Mechanism = Mechanism::Hybrid { notice: NoticeStrategy::Cua, arrival: ArrivalStrategy::Paa };
-    pub const CUA_SPAA: Mechanism = Mechanism::Hybrid { notice: NoticeStrategy::Cua, arrival: ArrivalStrategy::Spaa };
-    pub const CUP_PAA: Mechanism = Mechanism::Hybrid { notice: NoticeStrategy::Cup, arrival: ArrivalStrategy::Paa };
-    pub const CUP_SPAA: Mechanism = Mechanism::Hybrid { notice: NoticeStrategy::Cup, arrival: ArrivalStrategy::Spaa };
+    pub const N_PAA: Mechanism = Mechanism::Hybrid {
+        notice: NoticeStrategy::None,
+        arrival: ArrivalStrategy::Paa,
+    };
+    pub const N_SPAA: Mechanism = Mechanism::Hybrid {
+        notice: NoticeStrategy::None,
+        arrival: ArrivalStrategy::Spaa,
+    };
+    pub const CUA_PAA: Mechanism = Mechanism::Hybrid {
+        notice: NoticeStrategy::Cua,
+        arrival: ArrivalStrategy::Paa,
+    };
+    pub const CUA_SPAA: Mechanism = Mechanism::Hybrid {
+        notice: NoticeStrategy::Cua,
+        arrival: ArrivalStrategy::Spaa,
+    };
+    pub const CUP_PAA: Mechanism = Mechanism::Hybrid {
+        notice: NoticeStrategy::Cup,
+        arrival: ArrivalStrategy::Paa,
+    };
+    pub const CUP_SPAA: Mechanism = Mechanism::Hybrid {
+        notice: NoticeStrategy::Cup,
+        arrival: ArrivalStrategy::Spaa,
+    };
 
     /// The six mechanisms of the paper, in its presentation order.
     pub const ALL_SIX: [Mechanism; 6] = [
@@ -72,15 +95,15 @@ impl Mechanism {
 
     pub fn notice(self) -> Option<NoticeStrategy> {
         match self {
-            Mechanism::Baseline => None,
             Mechanism::Hybrid { notice, .. } => Some(notice),
+            Mechanism::Baseline | Mechanism::Custom => None,
         }
     }
 
     pub fn arrival(self) -> Option<ArrivalStrategy> {
         match self {
-            Mechanism::Baseline => None,
             Mechanism::Hybrid { arrival, .. } => Some(arrival),
+            Mechanism::Baseline | Mechanism::Custom => None,
         }
     }
 
@@ -94,6 +117,7 @@ impl Mechanism {
             Self::CUA_SPAA => "CUA&SPAA",
             Self::CUP_PAA => "CUP&PAA",
             Self::CUP_SPAA => "CUP&SPAA",
+            Mechanism::Custom => "custom",
         }
     }
 }
@@ -158,6 +182,10 @@ pub struct SimConfig {
     /// Record a schedule timeline (Gantt-renderable; small scenarios only —
     /// the log grows with every scheduling event).
     pub record_timeline: bool,
+    /// Explicit mechanism hooks. `None` derives the standard composition
+    /// from [`SimConfig::mechanism`]; `Some` overrides it entirely (set via
+    /// [`SimConfig::with_hooks`]).
+    pub hooks: Option<HooksHandle>,
 }
 
 impl Default for SimConfig {
@@ -177,6 +205,7 @@ impl Default for SimConfig {
             measure_decisions: true,
             paranoid_checks: false,
             record_timeline: false,
+            hooks: None,
         }
     }
 }
@@ -190,9 +219,32 @@ impl SimConfig {
         }
     }
 
+    /// Select one of the built-in mechanisms (baseline or the six hybrid
+    /// ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Mechanism::Custom`], which carries no behavior by
+    /// itself — use [`SimConfig::with_hooks`] instead. Catching it here
+    /// beats a panic deep inside a sweep worker thread.
     pub fn with_mechanism(m: Mechanism) -> Self {
+        assert!(
+            m != Mechanism::Custom,
+            "Mechanism::Custom has no built-in behavior; use SimConfig::with_hooks(..)"
+        );
         SimConfig {
             mechanism: m,
+            ..Default::default()
+        }
+    }
+
+    /// Register a custom mechanism: the driver consults `hooks` at every
+    /// notice, prediction, and arrival decision point. See
+    /// `examples/custom_policy.rs` for a seventh mechanism built this way.
+    pub fn with_hooks<H: MechanismHooks + 'static>(hooks: H) -> Self {
+        SimConfig {
+            mechanism: Mechanism::Custom,
+            hooks: Some(HooksHandle::new(hooks)),
             ..Default::default()
         }
     }
@@ -260,11 +312,19 @@ mod tests {
     #[test]
     fn baseline_config() {
         assert!(SimConfig::baseline().mechanism.is_baseline());
-        assert!(!SimConfig::with_mechanism(Mechanism::N_PAA).mechanism.is_baseline());
+        assert!(!SimConfig::with_mechanism(Mechanism::N_PAA)
+            .mechanism
+            .is_baseline());
     }
 
     #[test]
     fn display_uses_name() {
         assert_eq!(Mechanism::CUA_SPAA.to_string(), "CUA&SPAA");
+    }
+
+    #[test]
+    #[should_panic(expected = "use SimConfig::with_hooks")]
+    fn custom_mechanism_without_hooks_is_rejected_early() {
+        let _ = SimConfig::with_mechanism(Mechanism::Custom);
     }
 }

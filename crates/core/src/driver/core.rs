@@ -1,0 +1,409 @@
+//! The slimmed simulation model: per-run state, scheduler-visible
+//! estimates, and the run lifecycle (start, finish, occupancy accrual).
+//!
+//! The surrounding layers live in sibling modules: event dispatch in
+//! [`super::events`], node routing and on-demand handling in
+//! [`super::alloc`], preempt/shrink/expand/drain mechanics in
+//! [`super::preempt`], and the FCFS + EASY pass in [`super::pass`].
+
+use super::alloc::Claim;
+use super::events::Ev;
+use super::hooks::{hooks_for, MechanismHooks};
+use crate::config::SimConfig;
+use crate::failure::time_to_failure;
+use crate::jobstate::{
+    malleable_finish, malleable_progress_ns, rigid_progress, rigid_wall_time, JobState, Run, Status,
+};
+use crate::timeline::{Timeline, TimelineEvent};
+use hws_cluster::{Cluster, LeaseLedger};
+use hws_metrics::Recorder;
+use hws_sim::{EventId, EventQueue, SimDuration, SimTime};
+use hws_workload::{JobId, JobKind, JobSpec, Trace};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The simulation model (per-run state).
+pub struct SimCore<'t> {
+    pub cfg: SimConfig,
+    pub(super) hooks: Arc<dyn MechanismHooks>,
+    pub(super) trace: &'t Trace,
+    pub(super) idx_of: HashMap<JobId, usize>,
+    pub(super) jobs: Vec<JobState>,
+    pub(super) cluster: Cluster,
+    /// Waiting jobs (unordered; sorted per pass by the queue policy).
+    pub(super) queue: Vec<JobId>,
+    /// Arrived on-demand jobs that could not start instantly ("front of
+    /// the queue", §III-B2).
+    pub(super) od_front: Vec<JobId>,
+    pub(super) claims: Vec<Claim>,
+    pub(super) leases: LeaseLedger,
+    /// On-demand holders whose reservations may host backfill squatters
+    /// (notice-phase reservations only).
+    pub(super) squattable: Vec<JobId>,
+    /// On-demand jobs in the notice phase (announced, not yet arrived).
+    pub(super) noticed: Vec<JobId>,
+    pub(super) timeout_ev: HashMap<JobId, EventId>,
+    pub(super) cup_plans: HashMap<JobId, Vec<EventId>>,
+    pub(super) pass_pending: bool,
+    pub rec: Recorder,
+    pub timeline: Timeline,
+}
+
+impl<'t> SimCore<'t> {
+    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Self {
+        let mut idx_of = HashMap::with_capacity(trace.jobs.len());
+        let mut jobs = Vec::with_capacity(trace.jobs.len());
+        for (i, spec) in trace.jobs.iter().enumerate() {
+            idx_of.insert(spec.id, i);
+            jobs.push(JobState::new(spec.id, i, spec));
+        }
+        SimCore {
+            cluster: Cluster::new(trace.system_size),
+            rec: Recorder::new(trace.system_size),
+            hooks: hooks_for(&cfg),
+            cfg,
+            trace,
+            idx_of,
+            jobs,
+            queue: Vec::new(),
+            od_front: Vec::new(),
+            claims: Vec::new(),
+            leases: LeaseLedger::new(),
+            squattable: Vec::new(),
+            noticed: Vec::new(),
+            timeout_ev: HashMap::new(),
+            cup_plans: HashMap::new(),
+            pass_pending: false,
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// The active mechanism hooks.
+    pub fn hooks(&self) -> &dyn MechanismHooks {
+        &*self.hooks
+    }
+
+    #[inline]
+    pub(super) fn log(&mut self, t: SimTime, j: JobId, ev: TimelineEvent) {
+        if self.cfg.record_timeline {
+            self.timeline.record(t, j, ev);
+        }
+    }
+
+    pub(super) fn spec(&self, j: JobId) -> &JobSpec {
+        &self.trace.jobs[self.idx_of[&j]]
+    }
+
+    pub(super) fn st(&self, j: JobId) -> &JobState {
+        &self.jobs[self.idx_of[&j]]
+    }
+
+    pub(super) fn st_mut(&mut self, j: JobId) -> &mut JobState {
+        let i = self.idx_of[&j];
+        &mut self.jobs[i]
+    }
+
+    pub(super) fn hybrid(&self) -> bool {
+        !self.cfg.mechanism.is_baseline()
+    }
+
+    pub(super) fn request_pass(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
+        if !self.pass_pending {
+            self.pass_pending = true;
+            q.schedule(now, Ev::Pass);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler-visible estimates
+    // ------------------------------------------------------------------
+
+    /// Remaining *estimated* work of a job (scheduler view; the user
+    /// estimate minus preserved progress). Always ≥ the actual remainder.
+    pub(super) fn est_remaining_work(&self, j: JobId) -> SimDuration {
+        let spec = self.spec(j);
+        let st = self.st(j);
+        let done = spec.work.saturating_sub(st.remaining_work);
+        spec.estimate.saturating_sub(done).max(SimDuration::SECOND)
+    }
+
+    /// Estimated wall occupancy if `j` started now at `size` nodes.
+    pub(super) fn est_wall(&self, j: JobId, size: u32) -> SimDuration {
+        let spec = self.spec(j);
+        match spec.kind {
+            JobKind::Malleable => {
+                let st = self.st(j);
+                let est_total_ns = spec.estimate.as_secs() * u64::from(spec.size);
+                let done_ns = spec.work_node_seconds().saturating_sub(st.remaining_ns);
+                let rem = est_total_ns.saturating_sub(done_ns).max(1);
+                spec.setup + SimDuration::from_secs(rem.div_ceil(u64::from(size.max(1))))
+            }
+            _ => {
+                let est_rem = self.est_remaining_work(j);
+                let tau = if spec.kind == JobKind::Rigid {
+                    self.cfg.ckpt.interval(size)
+                } else {
+                    None
+                };
+                rigid_wall_time(est_rem, spec.setup, tau, self.cfg.ckpt.timeline_cost(size))
+            }
+        }
+    }
+
+    /// Scheduler-estimated completion of a *running or draining* job.
+    pub(super) fn expected_end(&self, j: JobId, now: SimTime) -> SimTime {
+        let st = self.st(j);
+        if let Some(until) = st.drain_until {
+            return until;
+        }
+        let run = st.run.as_ref().expect("expected_end of non-running job");
+        let spec = self.spec(j);
+        match spec.kind {
+            JobKind::Malleable => {
+                let est_total_ns = spec.estimate.as_secs() * u64::from(spec.size);
+                let done_now = spec.work_node_seconds().saturating_sub(st.remaining_ns)
+                    + malleable_progress_ns(run, now);
+                let rem = est_total_ns.saturating_sub(done_now).max(1);
+                let from = now.max(run.setup_end);
+                from + SimDuration::from_secs(rem.div_ceil(u64::from(run.size.max(1))))
+            }
+            _ => {
+                let est_at_start = {
+                    let done_before = spec.work.saturating_sub(run.work_at_start);
+                    spec.estimate
+                        .saturating_sub(done_before)
+                        .max(SimDuration::SECOND)
+                };
+                run.start + rigid_wall_time(est_at_start, spec.setup, run.tau, run.delta)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Run lifecycle
+    // ------------------------------------------------------------------
+
+    /// Start `j` on `size` nodes. `backfill` selects the allocation path
+    /// (possibly squatting on notice-phase reservations). Returns false if
+    /// allocation failed (caller logic error — checked upstream).
+    pub(super) fn start_job(
+        &mut self,
+        j: JobId,
+        size: u32,
+        backfill: bool,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) -> bool {
+        let spec = self.spec(j).clone();
+        debug_assert!(size >= spec.min_size && size <= spec.size);
+        let own_reserved = self.cluster.reserved_idle_count(j);
+        let ok = if !backfill || own_reserved > 0 || !self.cfg.backfill_on_reserved {
+            self.cluster.allocate_with_reserved(j, size).is_some()
+        } else {
+            let squattable = self.squattable.clone();
+            self.cluster
+                .allocate_backfill(j, size, |h| squattable.contains(&h))
+                .is_some()
+        };
+        if !ok {
+            return false;
+        }
+        // Leftover private reservation returns to the pool.
+        if self.cluster.reserved_idle_count(j) > 0 {
+            self.cluster.release_reservation(j);
+        }
+        let (tau, delta) = if spec.kind == JobKind::Rigid {
+            (
+                self.cfg.ckpt.interval(size),
+                self.cfg.ckpt.timeline_cost(size),
+            )
+        } else {
+            (None, self.cfg.ckpt.timeline_cost(size))
+        };
+        let st = self.st_mut(j);
+        st.status = Status::Running;
+        st.cur_size = size;
+        let epoch = st.bump_epoch();
+        let remaining_work = st.remaining_work;
+        let remaining_ns = st.remaining_ns;
+        st.run = Some(Run {
+            start: now,
+            size,
+            setup_end: now + spec.setup,
+            occ_anchor: now,
+            work_anchor: now + spec.setup,
+            tau,
+            delta,
+            work_at_start: remaining_work,
+        });
+        self.rec.job_started(j, now);
+        self.log(now, j, TimelineEvent::Started { size });
+
+        // Schedule completion (or a kill when the estimate is exceeded —
+        // impossible for generated traces, possible for hand-built ones).
+        match spec.kind {
+            JobKind::Malleable => {
+                let run = self.st(j).run.as_ref().expect("just set");
+                let est_total_ns = spec.estimate.as_secs() * u64::from(spec.size);
+                let done_ns = spec.work_node_seconds().saturating_sub(remaining_ns);
+                let allowed_ns = est_total_ns.saturating_sub(done_ns);
+                if remaining_ns <= allowed_ns {
+                    let at = malleable_finish(run, remaining_ns);
+                    q.schedule(at, Ev::Finish { job: j, epoch });
+                } else {
+                    let at = malleable_finish(run, allowed_ns);
+                    q.schedule(at, Ev::Kill { job: j, epoch });
+                }
+            }
+            _ => {
+                let est_rem = self.est_remaining_work(j);
+                if remaining_work <= est_rem {
+                    let at = now + rigid_wall_time(remaining_work, spec.setup, tau, delta);
+                    q.schedule(at, Ev::Finish { job: j, epoch });
+                } else {
+                    let at = now + rigid_wall_time(est_rem, spec.setup, tau, delta);
+                    q.schedule(at, Ev::Kill { job: j, epoch });
+                }
+            }
+        }
+        self.schedule_failure(j, now, q);
+        true
+    }
+
+    /// Draw a time-to-failure for the job's current run epoch and schedule
+    /// the failure event (failure injection; no-op when disabled).
+    pub(super) fn schedule_failure(&mut self, j: JobId, now: SimTime, q: &mut EventQueue<Ev>) {
+        let st = self.st(j);
+        let Some(run) = st.run.as_ref() else { return };
+        if let Some(ttf) = time_to_failure(&self.cfg.failures, j, st.epoch, run.size) {
+            q.schedule(
+                now + ttf,
+                Ev::Fail {
+                    job: j,
+                    epoch: st.epoch,
+                },
+            );
+        }
+    }
+
+    /// Account occupancy for a running job up to `now`.
+    pub(super) fn accrue_occupancy(&mut self, j: JobId, now: SimTime) {
+        let st = self.st_mut(j);
+        if let Some(run) = st.run.as_mut() {
+            let dur = now.since(run.occ_anchor);
+            let size = run.size;
+            run.occ_anchor = now;
+            if !dur.is_zero() {
+                self.rec.add_occupancy(size, dur);
+            }
+        }
+    }
+
+    /// Accrue a malleable run's work progress up to `now`.
+    pub(super) fn accrue_malleable(&mut self, j: JobId, now: SimTime) {
+        let st = self.st_mut(j);
+        if let Some(run) = st.run.as_mut() {
+            let progressed = malleable_progress_ns(run, now);
+            st.remaining_ns = st.remaining_ns.saturating_sub(progressed);
+            run.work_anchor = now.max(run.setup_end);
+        }
+    }
+
+    /// A node failure interrupts the run: rigid (and on-demand) jobs fall
+    /// back to their last checkpoint and resubmit; malleable jobs lose only
+    /// their setup (finished tasks survive) and resubmit immediately.
+    pub(super) fn fail_job(&mut self, j: JobId, now: SimTime, _q: &mut EventQueue<Ev>) {
+        let spec = self.spec(j).clone();
+        let size = self.st(j).run.as_ref().expect("running").size;
+        self.accrue_occupancy(j, now);
+        self.rec.job_failed(j);
+        self.log(now, j, TimelineEvent::Failed);
+        match spec.kind {
+            JobKind::Malleable => {
+                self.accrue_malleable(j, now);
+                let st = self.st_mut(j);
+                let run = st.run.take().expect("running");
+                let setup_spent = now.since(run.start).min(spec.setup);
+                st.status = Status::Waiting;
+                st.cur_size = spec.size;
+                st.bump_epoch();
+                if !setup_spent.is_zero() {
+                    self.rec.add_waste(size, setup_spent);
+                }
+                self.cluster.release(j);
+                self.queue.push(j);
+            }
+            _ => {
+                let st = self.st_mut(j);
+                let run = st.run.take().expect("running");
+                let p = rigid_progress(
+                    now.since(run.start),
+                    spec.setup,
+                    run.tau,
+                    run.delta,
+                    run.work_at_start,
+                );
+                st.remaining_work = run.work_at_start - p.checkpointed;
+                st.status = Status::Waiting;
+                st.bump_epoch();
+                let waste = now.since(run.start) - p.anchor_elapsed;
+                if !waste.is_zero() {
+                    self.rec.add_waste(size, waste);
+                }
+                self.cluster.release(j);
+                self.queue.push(j);
+                // A failed on-demand job re-enters at the queue front.
+                if spec.kind == JobKind::OnDemand {
+                    if !self.od_front.contains(&j) {
+                        self.od_front.push(j);
+                    }
+                    self.claims.push(Claim {
+                        od: j,
+                        target: spec.size,
+                        phase: 0,
+                        since: now,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Complete a job: release nodes, settle leases if on-demand.
+    pub(super) fn finish_job(
+        &mut self,
+        j: JobId,
+        now: SimTime,
+        killed: bool,
+        q: &mut EventQueue<Ev>,
+    ) {
+        self.accrue_occupancy(j, now);
+        let spec_kind = self.spec(j).kind;
+        let st = self.st_mut(j);
+        let run = st.run.take().expect("finishing job had a run");
+        st.status = if killed {
+            Status::Killed
+        } else {
+            Status::Finished
+        };
+        st.remaining_work = SimDuration::ZERO;
+        st.remaining_ns = 0;
+        st.bump_epoch();
+        if killed {
+            // A killed run contributed nothing that survives.
+            self.rec.add_waste(run.size, now.since(run.start));
+            self.rec.job_killed(j, now);
+            self.log(now, j, TimelineEvent::Killed);
+        } else {
+            self.rec.job_finished(j, now);
+            self.log(now, j, TimelineEvent::Finished);
+        }
+        self.cluster.release(j);
+        self.leases.forget_lender(j);
+        if spec_kind == JobKind::OnDemand {
+            self.remove_claim(j);
+            self.od_front.retain(|&x| x != j);
+            self.settle_leases(j, now, q);
+            self.cluster.release_reservation(j);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Simulator events and the epoch-guarded dispatch loop.
+//!
+//! ## Event anatomy
+//!
+//! * `Submit` — a job arrives (for on-demand jobs: the *actual* arrival).
+//! * `Notice` — an on-demand advance notice lands (15–30 min early).
+//! * `ReservationTimeout` — a noticed job failed to arrive 10 min past its
+//!   prediction; its reservation is released (§III-B4).
+//! * `Finish` / `Kill` — a run completes (or exceeds its estimate). Both
+//!   carry the job's *epoch*; preemption/shrink/expand bump the epoch so
+//!   stale events are ignored — the classic DES invalidation pattern.
+//! * `DrainEnd` — a malleable job's two-minute warning expired; its nodes
+//!   release now.
+//! * `PlannedPreempt` — a CUP-planned preemption fires (rigid victims right
+//!   after a checkpoint, malleable victims just before the prediction).
+//! * `Pass` — coalesced scheduling pass (FCFS + EASY over the queue).
+
+use super::core::SimCore;
+use crate::jobstate::Status;
+use crate::timeline::TimelineEvent;
+use hws_sim::{EventQueue, SimTime, Simulation};
+use hws_workload::{JobId, JobKind};
+
+/// Simulator events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    Submit(JobId),
+    Notice(JobId),
+    ReservationTimeout(JobId),
+    Finish {
+        job: JobId,
+        epoch: u64,
+    },
+    Kill {
+        job: JobId,
+        epoch: u64,
+    },
+    DrainEnd {
+        job: JobId,
+        epoch: u64,
+    },
+    PlannedPreempt {
+        victim: JobId,
+        od: JobId,
+        epoch: u64,
+    },
+    /// A node of the job's allocation failed (failure-injection extension).
+    Fail {
+        job: JobId,
+        epoch: u64,
+    },
+    Pass,
+}
+
+impl Simulation for SimCore<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+        match ev {
+            Ev::Submit(j) => {
+                let spec = self.spec(j).clone();
+                self.rec
+                    .job_submitted_with_category(j, spec.kind, spec.size, now, spec.category);
+                self.log(now, j, TimelineEvent::Submitted);
+                if spec.kind == JobKind::OnDemand && self.hybrid() {
+                    self.on_od_arrival(j, now, q);
+                } else {
+                    self.st_mut(j).status = Status::Waiting;
+                    self.queue.push(j);
+                    self.request_pass(now, q);
+                }
+            }
+            Ev::Notice(j) => {
+                if self.hybrid()
+                    && self.hooks.uses_notices()
+                    && self.st(j).status == Status::Announced
+                {
+                    self.log(now, j, TimelineEvent::NoticeReceived);
+                    self.on_notice(j, now, q);
+                    self.request_pass(now, q);
+                }
+            }
+            Ev::ReservationTimeout(j) => {
+                if self.st(j).status == Status::Announced {
+                    self.timeout_ev.remove(&j);
+                    if let Some(evs) = self.cup_plans.remove(&j) {
+                        for ev in evs {
+                            q.cancel(ev);
+                        }
+                    }
+                    self.remove_claim(j);
+                    self.squattable.retain(|&x| x != j);
+                    self.noticed.retain(|&x| x != j);
+                    self.cluster.release_reservation(j);
+                    self.offer_free_nodes(now);
+                    self.request_pass(now, q);
+                }
+            }
+            Ev::Finish { job, epoch } => {
+                if self.st(job).status == Status::Running && self.st(job).epoch == epoch {
+                    self.finish_job(job, now, false, q);
+                    self.offer_free_nodes(now);
+                    self.request_pass(now, q);
+                }
+            }
+            Ev::Kill { job, epoch } => {
+                if self.st(job).status == Status::Running && self.st(job).epoch == epoch {
+                    self.finish_job(job, now, true, q);
+                    self.offer_free_nodes(now);
+                    self.request_pass(now, q);
+                }
+            }
+            Ev::DrainEnd { job, epoch } => {
+                if self.st(job).status == Status::Draining && self.st(job).epoch == epoch {
+                    self.finish_drain(job, now);
+                    self.offer_free_nodes(now);
+                    self.request_pass(now, q);
+                }
+            }
+            Ev::PlannedPreempt { victim, od, epoch } => {
+                // Valid only while the on-demand job is still expected and
+                // the victim's run is unchanged.
+                if self.st(od).status == Status::Announced
+                    && self.st(victim).status == Status::Running
+                    && self.st(victim).epoch == epoch
+                {
+                    let nodes = self.st(victim).run.as_ref().expect("running").size;
+                    let outstanding = self
+                        .spec(od)
+                        .size
+                        .saturating_sub(self.cluster.reserved_idle_count(od));
+                    self.preempt_job(victim, now, q);
+                    self.leases.record(od, victim, outstanding.min(nodes), true);
+                    self.offer_free_nodes(now);
+                    self.request_pass(now, q);
+                }
+            }
+            Ev::Fail { job, epoch } => {
+                if self.st(job).status == Status::Running && self.st(job).epoch == epoch {
+                    self.fail_job(job, now, q);
+                    self.offer_free_nodes(now);
+                    self.request_pass(now, q);
+                }
+            }
+            Ev::Pass => {
+                self.pass_pending = false;
+                self.schedule_pass(now, q);
+            }
+        }
+        if self.cfg.paranoid_checks {
+            self.cluster.check_invariants().expect("cluster invariants");
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The mechanism extension point: [`MechanismHooks`] and the paper's six
+//! mechanisms expressed as N/CUA/CUP × PAA/SPAA policy compositions.
+//!
+//! The driver owns *when* decisions happen (notice, predicted arrival,
+//! actual arrival) and *how* plans execute against the cluster; hooks own
+//! *what* the plan is. Hooks are pure planners over snapshot views — they
+//! never touch the cluster directly — which keeps every mechanism
+//! deterministic, benchmarkable in isolation, and registrable without
+//! modifying driver internals (see `examples/custom_policy.rs` for a
+//! seventh mechanism).
+
+use crate::config::{Mechanism, NoticeStrategy, ShrinkStrategy, SimConfig, VictimOrder};
+use crate::mechanism::{
+    plan_cup, plan_shrinks, select_victims, CupCandidate, CupPlan, ShrinkInfo, VictimInfo,
+};
+use hws_sim::SimTime;
+use hws_workload::JobId;
+use std::fmt;
+use std::sync::Arc;
+
+/// Snapshot handed to [`MechanismHooks::on_notice`]: an advance notice for
+/// on-demand job `od` just landed.
+#[derive(Debug, Clone, Copy)]
+pub struct NoticeView {
+    pub od: JobId,
+    /// Nodes the on-demand job will need at arrival.
+    pub need: u32,
+    /// Free nodes available right now.
+    pub free: u32,
+    pub notice_time: SimTime,
+    pub predicted_arrival: SimTime,
+    pub now: SimTime,
+}
+
+/// What to do with an advance notice.
+#[derive(Debug, Clone, Copy)]
+pub struct NoticeDecision {
+    /// Reserve free nodes now and keep collecting released nodes until the
+    /// job arrives (CUA/CUP behavior). `false` ignores the notice entirely
+    /// (the N strategies).
+    pub collect: bool,
+}
+
+/// Snapshot handed to [`MechanismHooks::plan_for_prediction`] when the
+/// notice-time reservation fell short: every running non-on-demand job, with
+/// its expected completion and the cheapest instant it could be preempted.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictionView<'a> {
+    pub od: JobId,
+    /// Nodes still uncovered after reserving the free pool.
+    pub shortfall: u32,
+    pub predicted: SimTime,
+    pub now: SimTime,
+    pub candidates: &'a [CupCandidate],
+}
+
+/// Snapshot handed to [`MechanismHooks::on_arrival`] when an on-demand job
+/// arrived and free + reserved + raided nodes still fall short.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalView<'a> {
+    pub od: JobId,
+    /// Nodes still needed beyond everything already secured.
+    pub need_extra: u32,
+    pub now: SimTime,
+    /// Running malleable jobs and how far each can shrink (already capped to
+    /// the nodes that would actually reach the arriving job).
+    pub shrinkable: &'a [ShrinkInfo],
+    /// Running rigid/malleable jobs eligible as preemption victims, with the
+    /// node count a preemption would actually yield.
+    pub victims: &'a [VictimInfo],
+}
+
+/// How to source the missing nodes at arrival. The driver executes shrinks
+/// first, then preemptions, and records the matching leases (§III-B3).
+/// Return an empty plan to let the job wait at the front of the queue.
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalPlan {
+    /// `(job, nodes_to_release)` shrink orders for running malleable jobs.
+    pub shrinks: Vec<(JobId, u32)>,
+    /// Victims to preempt, in order.
+    pub preempt: Vec<VictimInfo>,
+}
+
+impl ArrivalPlan {
+    /// No sourcing possible: the on-demand job waits at the queue front.
+    pub fn wait() -> Self {
+        ArrivalPlan::default()
+    }
+}
+
+/// A scheduling mechanism, as seen by the driver. Implementations must be
+/// deterministic pure functions of their views — the multi-seed sweep runs
+/// one simulation per thread against a shared hooks instance.
+pub trait MechanismHooks: fmt::Debug + Send + Sync {
+    /// Display name (used in outcome reports and `HooksHandle`'s `Debug`).
+    fn name(&self) -> &str;
+
+    /// Whether advance notices are acted on at all. When `false`, `Notice`
+    /// events are neither scheduled nor handled (the N strategies).
+    fn uses_notices(&self) -> bool {
+        true
+    }
+
+    /// An advance notice landed; decide whether to start collecting nodes.
+    fn on_notice(&self, view: &NoticeView) -> NoticeDecision {
+        let _ = view;
+        NoticeDecision {
+            collect: self.uses_notices(),
+        }
+    }
+
+    /// Whether [`MechanismHooks::plan_for_prediction`] does anything.
+    /// Building a [`PredictionView`] costs O(running jobs) of completion
+    /// and overhead estimation, so the driver skips it entirely when this
+    /// returns `false` (keeping CUA decision latency free of CUP-only
+    /// work). Defaults to `true` so custom hooks that override
+    /// `plan_for_prediction` are consulted without further ceremony.
+    fn plans_predictions(&self) -> bool {
+        true
+    }
+
+    /// The notice-time reservation fell short: plan preemptions so the full
+    /// allocation is ready at the predicted arrival (CUP). The default plans
+    /// nothing (CUA keeps collecting passively).
+    fn plan_for_prediction(&self, view: &PredictionView<'_>) -> CupPlan {
+        let _ = view;
+        CupPlan::none()
+    }
+
+    /// The job actually arrived and nodes are still missing: decide which
+    /// running jobs to shrink and/or preempt.
+    fn on_arrival(&self, view: &ArrivalView<'_>) -> ArrivalPlan;
+}
+
+/// Clonable, debuggable handle carried by [`SimConfig`].
+#[derive(Clone)]
+pub struct HooksHandle(pub Arc<dyn MechanismHooks>);
+
+impl HooksHandle {
+    pub fn new<H: MechanismHooks + 'static>(hooks: H) -> Self {
+        HooksHandle(Arc::new(hooks))
+    }
+
+    /// The registered mechanism's display name.
+    pub fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+impl fmt::Debug for HooksHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("HooksHandle").field(&self.0.name()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's notice-phase policies (§III-B1)
+// ---------------------------------------------------------------------------
+
+/// One of the three advance-notice strategies, as a composable unit.
+/// `plans_predictions` defaults to `true` (consult `plan_for_prediction`);
+/// policies that provably never plan opt out to spare the driver the
+/// candidate-snapshot cost.
+pub trait NoticePolicy: fmt::Debug + Send + Sync {
+    fn uses_notices(&self) -> bool {
+        true
+    }
+
+    fn plans_predictions(&self) -> bool {
+        true
+    }
+
+    fn plan_for_prediction(&self, view: &PredictionView<'_>) -> CupPlan {
+        let _ = view;
+        CupPlan::none()
+    }
+}
+
+/// "Do nothing (N)": notices are ignored, everything happens at arrival.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IgnoreNotices;
+
+impl NoticePolicy for IgnoreNotices {
+    fn uses_notices(&self) -> bool {
+        false
+    }
+
+    fn plans_predictions(&self) -> bool {
+        false
+    }
+}
+
+/// "Collect-until-actual-arrival (CUA)": reserve free nodes at notice time,
+/// then passively collect releases until the job arrives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectUntilArrival;
+
+impl NoticePolicy for CollectUntilArrival {
+    fn plans_predictions(&self) -> bool {
+        false
+    }
+}
+
+/// "Collect-until-predicted-arrival (CUP)": CUA plus planned preemptions —
+/// rigid victims right after their next checkpoint, malleable victims just
+/// before the prediction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectUntilPredicted;
+
+impl NoticePolicy for CollectUntilPredicted {
+    fn plan_for_prediction(&self, view: &PredictionView<'_>) -> CupPlan {
+        plan_cup(view.candidates, view.shortfall, view.predicted)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's arrival-phase policies (§III-B2)
+// ---------------------------------------------------------------------------
+
+/// One of the arrival strategies, as a composable unit.
+pub trait ArrivalPolicy: fmt::Debug + Send + Sync {
+    fn on_arrival(&self, view: &ArrivalView<'_>) -> ArrivalPlan;
+}
+
+/// "Preempt-at-actual-arrival (PAA)": preempt running jobs in ascending
+/// preemption-overhead order (or an ablation ordering) until satisfied.
+#[derive(Debug, Clone, Copy)]
+pub struct PreemptAtArrival {
+    pub order: VictimOrder,
+}
+
+impl ArrivalPolicy for PreemptAtArrival {
+    fn on_arrival(&self, view: &ArrivalView<'_>) -> ArrivalPlan {
+        match select_victims(view.victims.to_vec(), view.need_extra, self.order) {
+            Some(preempt) => ArrivalPlan {
+                shrinks: Vec::new(),
+                preempt,
+            },
+            None => ArrivalPlan::wait(),
+        }
+    }
+}
+
+/// "Shrink-preempt-at-actual-arrival (SPAA)": if shrinking every running
+/// malleable job to its minimum can supply the demand, shrink evenly;
+/// otherwise fall back to PAA.
+#[derive(Debug, Clone, Copy)]
+pub struct ShrinkThenPreempt {
+    pub strategy: ShrinkStrategy,
+    pub fallback: PreemptAtArrival,
+}
+
+impl ArrivalPolicy for ShrinkThenPreempt {
+    fn on_arrival(&self, view: &ArrivalView<'_>) -> ArrivalPlan {
+        if let Some(shrinks) = plan_shrinks(view.shrinkable, view.need_extra, self.strategy) {
+            return ArrivalPlan {
+                shrinks,
+                preempt: Vec::new(),
+            };
+        }
+        self.fallback.on_arrival(view)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composition
+// ---------------------------------------------------------------------------
+
+/// A full mechanism from one notice policy and one arrival policy. The six
+/// paper mechanisms are exactly the `{N, CUA, CUP} × {PAA, SPAA}` grid of
+/// [`IgnoreNotices`]/[`CollectUntilArrival`]/[`CollectUntilPredicted`] with
+/// [`PreemptAtArrival`]/[`ShrinkThenPreempt`].
+#[derive(Debug)]
+pub struct Composed<N, A> {
+    name: String,
+    pub notice: N,
+    pub arrival: A,
+}
+
+impl<N: NoticePolicy, A: ArrivalPolicy> Composed<N, A> {
+    pub fn new(name: impl Into<String>, notice: N, arrival: A) -> Self {
+        Composed {
+            name: name.into(),
+            notice,
+            arrival,
+        }
+    }
+}
+
+impl<N: NoticePolicy, A: ArrivalPolicy> MechanismHooks for Composed<N, A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn uses_notices(&self) -> bool {
+        self.notice.uses_notices()
+    }
+
+    fn plans_predictions(&self) -> bool {
+        self.notice.plans_predictions()
+    }
+
+    fn plan_for_prediction(&self, view: &PredictionView<'_>) -> CupPlan {
+        self.notice.plan_for_prediction(view)
+    }
+
+    fn on_arrival(&self, view: &ArrivalView<'_>) -> ArrivalPlan {
+        self.arrival.on_arrival(view)
+    }
+}
+
+/// Build the hooks for a configuration: an explicit [`SimConfig::hooks`]
+/// wins; otherwise the mechanism enum maps onto the standard compositions.
+pub(crate) fn hooks_for(cfg: &SimConfig) -> Arc<dyn MechanismHooks> {
+    if let Some(handle) = &cfg.hooks {
+        return Arc::clone(&handle.0);
+    }
+    let paa = PreemptAtArrival {
+        order: cfg.victim_order,
+    };
+    let spaa = ShrinkThenPreempt {
+        strategy: cfg.shrink_strategy,
+        fallback: paa,
+    };
+    let name = cfg.mechanism.name();
+    match cfg.mechanism {
+        // Baseline never consults hooks (`SimCore::hybrid` gates them), but
+        // the slot is non-optional; park an inert composition there.
+        Mechanism::Baseline => Arc::new(Composed::new(name, IgnoreNotices, paa)),
+        Mechanism::Hybrid { notice, arrival } => {
+            use crate::config::ArrivalStrategy as A;
+            match (notice, arrival) {
+                (NoticeStrategy::None, A::Paa) => Arc::new(Composed::new(name, IgnoreNotices, paa)),
+                (NoticeStrategy::None, A::Spaa) => {
+                    Arc::new(Composed::new(name, IgnoreNotices, spaa))
+                }
+                (NoticeStrategy::Cua, A::Paa) => {
+                    Arc::new(Composed::new(name, CollectUntilArrival, paa))
+                }
+                (NoticeStrategy::Cua, A::Spaa) => {
+                    Arc::new(Composed::new(name, CollectUntilArrival, spaa))
+                }
+                (NoticeStrategy::Cup, A::Paa) => {
+                    Arc::new(Composed::new(name, CollectUntilPredicted, paa))
+                }
+                (NoticeStrategy::Cup, A::Spaa) => {
+                    Arc::new(Composed::new(name, CollectUntilPredicted, spaa))
+                }
+            }
+        }
+        Mechanism::Custom => {
+            panic!("Mechanism::Custom requires SimConfig::with_hooks(..)")
+        }
+    }
+}

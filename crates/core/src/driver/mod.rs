@@ -1,0 +1,125 @@
+//! The trace-replay simulator: CQSim-style event loop binding the workload,
+//! the cluster, the queue policy, EASY backfilling, and the six hybrid
+//! mechanisms together.
+//!
+//! ## Layer map (see DESIGN.md §1–§3 for the full architecture)
+//!
+//! * [`events`] — the [`Ev`] enum and the epoch-guarded dispatch loop.
+//! * [`alloc`] — claims, the `offer_free_nodes` node-routing discipline,
+//!   lease settling, and on-demand notice/arrival orchestration.
+//! * [`preempt`] — preempt/shrink/expand/drain/checkpoint mechanics.
+//! * [`pass`] — the FCFS + EASY scheduling pass, shadow computation, and
+//!   backfill sizing.
+//! * [`core`] — the slimmed [`SimCore`] state, estimates, run lifecycle.
+//! * [`hooks`] — the [`MechanismHooks`] extension point; the six paper
+//!   mechanisms are `{N, CUA, CUP} × {PAA, SPAA}` compositions, and new
+//!   mechanisms register via [`SimConfig::with_hooks`] without touching
+//!   driver internals.
+
+mod alloc;
+mod core;
+mod events;
+pub mod hooks;
+mod pass;
+mod preempt;
+#[cfg(test)]
+mod tests;
+#[cfg(test)]
+mod tests_hooks;
+
+pub use self::core::SimCore;
+pub use events::Ev;
+pub use hooks::{
+    ArrivalPlan, ArrivalPolicy, ArrivalView, CollectUntilArrival, CollectUntilPredicted, Composed,
+    HooksHandle, IgnoreNotices, MechanismHooks, NoticeDecision, NoticePolicy, NoticeView,
+    PredictionView, PreemptAtArrival, ShrinkThenPreempt,
+};
+
+use crate::config::{Mechanism, SimConfig};
+use crate::timeline::Timeline;
+use hws_metrics::Metrics;
+use hws_sim::{Engine, EngineStats};
+use hws_workload::{Trace, TraceConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    pub metrics: Metrics,
+    pub engine: EngineStats,
+    pub mechanism: Mechanism,
+    /// Present when `SimConfig::record_timeline` was set.
+    pub timeline: Option<Timeline>,
+}
+
+/// Public façade: configure once, replay traces.
+pub struct Simulator;
+
+impl Simulator {
+    /// Replay `trace` under `cfg` and report the §IV-D metrics.
+    pub fn run_trace(cfg: &SimConfig, trace: &Trace) -> SimOutcome {
+        let core = SimCore::new(cfg.clone(), trace);
+        let schedule_notices = !cfg.mechanism.is_baseline() && core.hooks.uses_notices();
+        let mut engine = Engine::new(core);
+        for (idx, spec) in trace.jobs.iter().enumerate() {
+            let id = spec.id;
+            debug_assert_eq!(engine.sim.idx_of[&id], idx);
+            if let (Some(notice), true) = (&spec.notice, schedule_notices) {
+                engine.queue.schedule(notice.notice_time, Ev::Notice(id));
+            }
+            engine.queue.schedule(spec.submit, Ev::Submit(id));
+        }
+        let stats = engine.run_to_completion();
+        let core = engine.into_sim();
+        let metrics = Metrics::compute(&core.rec, core.cfg.instant_threshold);
+        SimOutcome {
+            metrics,
+            engine: stats,
+            mechanism: cfg.mechanism,
+            timeline: core.cfg.record_timeline.then_some(core.timeline),
+        }
+    }
+
+    /// Generate one trace per seed and replay each under `cfg`, fanning the
+    /// runs across CPU cores with scoped threads. Returns one outcome per
+    /// seed, in seed order.
+    ///
+    /// Every run is an independent simulation over its own trace, so the
+    /// per-seed metrics are **bitwise identical** to sequential
+    /// [`Simulator::run_trace`] calls (wall-clock decision latencies are the
+    /// one legitimate exception; disable `measure_decisions` for strict
+    /// equality). The figure/table binaries in `hws-bench` route through
+    /// this entry point.
+    pub fn run_sweep(cfg: &SimConfig, trace_cfg: &TraceConfig, seeds: &[u64]) -> Vec<SimOutcome> {
+        if seeds.is_empty() {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(seeds.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SimOutcome>>> =
+            seeds.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&seed) = seeds.get(i) else { break };
+                    let trace = trace_cfg.generate(seed);
+                    let outcome = Simulator::run_trace(cfg, &trace);
+                    *slots[i].lock().expect("sweep slot") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep slot")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,216 @@
+//! The scheduling pass: queue ordering, in-order starts with deadlock
+//! avoidance, EASY backfilling behind a blocked head, shadow computation,
+//! and backfill sizing.
+
+use super::core::SimCore;
+use super::events::Ev;
+use crate::backfill::{compute_shadow, may_backfill, Shadow};
+use crate::jobstate::Status;
+use crate::policy::queue_key;
+use hws_sim::{EventQueue, SimTime};
+use hws_workload::{JobId, JobKind};
+
+impl SimCore<'_> {
+    pub(super) fn schedule_pass(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
+        if self.queue.is_empty() {
+            return;
+        }
+        // Order the queue.
+        let mut ordered: Vec<JobId> = self
+            .queue
+            .iter()
+            .copied()
+            .filter(|j| self.st(*j).status == Status::Waiting)
+            .collect();
+        ordered.sort_by(|&a, &b| {
+            let ka = queue_key(
+                self.cfg.policy,
+                self.spec(a),
+                self.od_front.contains(&a),
+                now,
+            );
+            let kb = queue_key(
+                self.cfg.policy,
+                self.spec(b),
+                self.od_front.contains(&b),
+                now,
+            );
+            ka.cmp(&kb)
+        });
+
+        let mut started: Vec<JobId> = Vec::new();
+        let mut head: Option<JobId> = None;
+        let mut pos = 0;
+        // Phase A: start jobs strictly in order while they fit. A job that
+        // does not fit in free + its own reserved nodes may still start by
+        // squatting on on-demand notice reservations (it becomes a
+        // squatter, evicted when the holder arrives) — this keeps reserved
+        // nodes busy, as §III-B1 intends.
+        while pos < ordered.len() {
+            let j = ordered[pos];
+            let own = self.cluster.reserved_idle_count(j);
+            let avail = self.cluster.free_count() + own;
+            let need = self.start_need(j);
+            let (fits, backfill, usable) = if avail >= need {
+                (true, false, avail)
+            } else if own == 0 && self.hybrid() && self.cfg.backfill_on_reserved {
+                let squattable = &self.squattable;
+                let squat = self.cluster.squattable_idle(|h| squattable.contains(&h));
+                (avail + squat >= need, true, avail + squat)
+            } else {
+                (false, false, avail)
+            };
+            if fits {
+                let size = self.choose_start_size(j, usable);
+                if self.start_job(j, size, backfill, now, q) {
+                    if self.spec(j).kind == JobKind::OnDemand {
+                        self.od_front.retain(|&x| x != j);
+                        self.remove_claim(j);
+                    }
+                    started.push(j);
+                    pos += 1;
+                    continue;
+                }
+            }
+            // Deadlock avoidance: reservations are subordinate to queue
+            // priority. A blocked head may raid the private reservations of
+            // *lower-ranked waiting* jobs (lease returns, partial on-demand
+            // claims) — otherwise two waiting jobs can hoard the whole
+            // machine with nothing running and no event pending. Notice-
+            // phase reservations are exempt: they expire via their timeout.
+            if avail < need {
+                let lower: Vec<JobId> = ordered[pos + 1..]
+                    .iter()
+                    .copied()
+                    .filter(|&w| self.cluster.reserved_idle_count(w) > 0)
+                    .collect();
+                let raidable: u32 = lower
+                    .iter()
+                    .map(|&w| self.cluster.reserved_idle_count(w))
+                    .sum();
+                if avail + raidable >= need {
+                    let mut deficit = need - avail;
+                    // Rob the lowest-priority holders first.
+                    for &w in lower.iter().rev() {
+                        if deficit == 0 {
+                            break;
+                        }
+                        deficit -= self.cluster.transfer_reserved(w, j, deficit);
+                    }
+                    let usable = self.cluster.free_count() + self.cluster.reserved_idle_count(j);
+                    let size = self.choose_start_size(j, usable);
+                    if self.start_job(j, size, false, now, q) {
+                        if self.spec(j).kind == JobKind::OnDemand {
+                            self.od_front.retain(|&x| x != j);
+                            self.remove_claim(j);
+                        }
+                        started.push(j);
+                        pos += 1;
+                        continue;
+                    }
+                }
+            }
+            head = Some(j);
+            break;
+        }
+
+        // Phase B: EASY backfill behind the blocked head.
+        if let Some(head_id) = head {
+            if self.cfg.easy_backfill {
+                let shadow = self.head_shadow(head_id, now);
+                for &j in &ordered[pos + 1..] {
+                    if let Some(size) = self.backfill_size(j, shadow, now) {
+                        if self.start_job(j, size, true, now, q) {
+                            if self.spec(j).kind == JobKind::OnDemand {
+                                self.od_front.retain(|&x| x != j);
+                                self.remove_claim(j);
+                            }
+                            started.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        if !started.is_empty() {
+            let done: std::collections::HashSet<JobId> = started.into_iter().collect();
+            self.queue.retain(|j| !done.contains(j));
+        }
+    }
+
+    /// Minimum nodes `j` needs to start (its min size for malleable jobs in
+    /// hybrid mode; full size otherwise).
+    pub(super) fn start_need(&self, j: JobId) -> u32 {
+        let spec = self.spec(j);
+        if spec.kind == JobKind::Malleable && self.hybrid() {
+            spec.min_size
+        } else {
+            spec.size
+        }
+    }
+
+    /// Size to start `j` at, given `avail` usable nodes. Malleable jobs
+    /// greedily take the largest size available ("the scheduler can choose
+    /// malleable jobs' sizes at their start or resumed time").
+    pub(super) fn choose_start_size(&self, j: JobId, avail: u32) -> u32 {
+        let spec = self.spec(j);
+        if spec.kind == JobKind::Malleable && self.hybrid() {
+            avail.clamp(spec.min_size, spec.size)
+        } else {
+            spec.size
+        }
+    }
+
+    /// Shadow reservation for the blocked head job.
+    pub(super) fn head_shadow(&self, head: JobId, now: SimTime) -> Shadow {
+        let mut releases: Vec<(SimTime, u32)> = Vec::new();
+        for v in self.cluster.running_jobs() {
+            let st = self.st(v);
+            if st.status != Status::Running && st.status != Status::Draining {
+                continue;
+            }
+            // Only the plain portion returns to the free pool; squatted
+            // nodes go back to their on-demand holder.
+            let (plain, _) = self.cluster.split_of(v);
+            if plain > 0 {
+                releases.push((self.expected_end(v, now), plain));
+            }
+        }
+        let avail = self.cluster.free_count() + self.cluster.reserved_idle_count(head);
+        compute_shadow(&mut releases, avail, self.start_need(head))
+    }
+
+    /// Pick a backfill size for `j` under `shadow`, or None when no size
+    /// qualifies.
+    pub(super) fn backfill_size(&self, j: JobId, shadow: Shadow, now: SimTime) -> Option<u32> {
+        let spec = self.spec(j);
+        let own = self.cluster.reserved_idle_count(j);
+        // Availability must match start_job's allocation paths: a job with
+        // a private reservation draws from free + own; otherwise it may
+        // squat on notice-phase reservations.
+        let avail = if own > 0 || !self.cfg.backfill_on_reserved {
+            self.cluster.free_count() + own
+        } else {
+            let squattable = &self.squattable;
+            self.cluster.free_count() + self.cluster.squattable_idle(|h| squattable.contains(&h))
+        };
+        if spec.kind == JobKind::Malleable && self.hybrid() {
+            if avail < spec.min_size {
+                return None;
+            }
+            // Largest size finishing before the shadow…
+            let n1 = avail.min(spec.size);
+            if may_backfill(n1, now + self.est_wall(j, n1), avail, shadow) {
+                return Some(n1);
+            }
+            // …or a smaller size fitting in the shadow's spare nodes.
+            let n2 = shadow.extra.min(avail).min(spec.size);
+            if n2 >= spec.min_size && may_backfill(n2, SimTime::MAX, avail, shadow) {
+                return Some(n2);
+            }
+            None
+        } else {
+            let size = spec.size;
+            may_backfill(size, now + self.est_wall(j, size), avail, shadow).then_some(size)
+        }
+    }
+}

@@ -107,8 +107,14 @@ mod tests {
 
     #[test]
     fn distinct_seeds_give_distinct_streams() {
-        let a = FailureConfig { seed: 1, ..FailureConfig::with_mtbf_hours(100.0) };
-        let b = FailureConfig { seed: 2, ..FailureConfig::with_mtbf_hours(100.0) };
+        let a = FailureConfig {
+            seed: 1,
+            ..FailureConfig::with_mtbf_hours(100.0)
+        };
+        let b = FailureConfig {
+            seed: 2,
+            ..FailureConfig::with_mtbf_hours(100.0)
+        };
         assert_ne!(
             time_to_failure(&a, JobId(9), 0, 32),
             time_to_failure(&b, JobId(9), 0, 32)

@@ -126,9 +126,7 @@ pub fn rigid_wall_time(
 /// `ceil(work/τ) − 1` (none at the very end).
 pub fn n_checkpoints(work: SimDuration, tau: Option<SimDuration>) -> u64 {
     match tau {
-        Some(t) if t.as_secs() > 0 && work.as_secs() > 0 => {
-            (work.as_secs() - 1) / t.as_secs()
-        }
+        Some(t) if t.as_secs() > 0 && work.as_secs() > 0 => (work.as_secs() - 1) / t.as_secs(),
         _ => 0,
     }
 }
@@ -362,8 +360,8 @@ mod tests {
     #[test]
     fn next_ckpt_none_when_no_interior_ckpts_remain() {
         let run = rigid_run(0, 100, 400, 50, 1_000); // 2 interior ckpts
-        // After the second checkpoint boundary (100 + 2*450 = 1000) there
-        // are no more checkpoints.
+                                                     // After the second checkpoint boundary (100 + 2*450 = 1000) there
+                                                     // are no more checkpoints.
         assert_eq!(next_checkpoint_completion(&run, t(1_000)), None);
     }
 

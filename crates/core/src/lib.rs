@@ -39,8 +39,14 @@ pub mod policy;
 pub mod timeline;
 
 pub use ckpt::CkptConfig;
+pub use config::{
+    ArrivalStrategy, Mechanism, NoticeStrategy, ShrinkStrategy, SimConfig, VictimOrder,
+};
+pub use driver::{
+    ArrivalPlan, ArrivalPolicy, ArrivalView, CollectUntilArrival, CollectUntilPredicted, Composed,
+    HooksHandle, IgnoreNotices, MechanismHooks, NoticeDecision, NoticePolicy, NoticeView,
+    PredictionView, PreemptAtArrival, ShrinkThenPreempt, SimOutcome, Simulator,
+};
 pub use failure::FailureConfig;
-pub use config::{ArrivalStrategy, Mechanism, NoticeStrategy, ShrinkStrategy, SimConfig, VictimOrder};
-pub use driver::{SimOutcome, Simulator};
 pub use policy::PolicyKind;
 pub use timeline::{Timeline, TimelineEvent};

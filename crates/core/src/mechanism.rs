@@ -95,10 +95,8 @@ pub fn plan_shrinks(
             // Max-heap on (current size, Reverse(id)): take from the
             // largest; among equals, the smallest id.
             let mut heap: BinaryHeap<(u32, std::cmp::Reverse<JobId>)> = BinaryHeap::new();
-            let mut take: std::collections::HashMap<JobId, (u32, u32)> = jobs
-                .iter()
-                .map(|j| (j.id, (j.cur, j.min)))
-                .collect();
+            let mut take: std::collections::HashMap<JobId, (u32, u32)> =
+                jobs.iter().map(|j| (j.id, (j.cur, j.min))).collect();
             for j in jobs {
                 if j.cur > j.min {
                     heap.push((j.cur, std::cmp::Reverse(j.id)));
@@ -177,6 +175,16 @@ pub struct CupPlan {
     /// Nodes still uncovered even after planning (left to the arrival
     /// strategy).
     pub uncovered: u32,
+}
+
+impl CupPlan {
+    /// Plan nothing (the non-CUP notice strategies).
+    pub fn none() -> CupPlan {
+        CupPlan {
+            planned_preemptions: Vec::new(),
+            uncovered: 0,
+        }
+    }
 }
 
 /// Candidate information for CUP planning.
@@ -278,7 +286,10 @@ mod tests {
             VictimOrder::Overhead,
         )
         .expect("feasible");
-        assert_eq!(victims.iter().map(|v| v.id).collect::<Vec<_>>(), vec![j(2), j(3)]);
+        assert_eq!(
+            victims.iter().map(|v| v.id).collect::<Vec<_>>(),
+            vec![j(2), j(3)]
+        );
     }
 
     #[test]
@@ -333,19 +344,19 @@ mod tests {
 
     #[test]
     fn overhead_ties_break_by_id() {
-        let sel = select_victims(
-            vec![vi(7, 5, 100), vi(3, 5, 100)],
-            5,
-            VictimOrder::Overhead,
-        )
-        .unwrap();
+        let sel =
+            select_victims(vec![vi(7, 5, 100), vi(3, 5, 100)], 5, VictimOrder::Overhead).unwrap();
         assert_eq!(sel[0].id, j(3));
     }
 
     // ---------------- SPAA shrink planning ----------------
 
     fn si(id: u64, cur: u32, min: u32) -> ShrinkInfo {
-        ShrinkInfo { id: j(id), cur, min }
+        ShrinkInfo {
+            id: j(id),
+            cur,
+            min,
+        }
     }
 
     #[test]
@@ -380,7 +391,11 @@ mod tests {
             ShrinkStrategy::EvenWaterFill,
         )
         .expect("feasible");
-        let take1 = plan.iter().find(|(id, _)| *id == j(1)).map(|(_, k)| *k).unwrap_or(0);
+        let take1 = plan
+            .iter()
+            .find(|(id, _)| *id == j(1))
+            .map(|(_, k)| *k)
+            .unwrap_or(0);
         assert!(take1 <= 1, "job 1 can only give one node");
         assert_eq!(plan.iter().map(|(_, k)| k).sum::<u32>(), 5);
     }
@@ -418,7 +433,11 @@ mod tests {
         let jobs = [si(1, 9, 2), si(2, 8, 3), si(3, 20, 4)];
         for need in 1..=28 {
             let plan = plan_shrinks(&jobs, need, ShrinkStrategy::Proportional).expect("feasible");
-            assert_eq!(plan.iter().map(|(_, k)| k).sum::<u32>(), need, "need {need}");
+            assert_eq!(
+                plan.iter().map(|(_, k)| k).sum::<u32>(),
+                need,
+                "need {need}"
+            );
             for (id, k) in &plan {
                 let job = jobs.iter().find(|s| s.id == *id).unwrap();
                 assert!(*k <= job.cur - job.min);
@@ -431,7 +450,11 @@ mod tests {
         let jobs = [si(1, 9, 2), si(2, 8, 3), si(3, 20, 4)];
         for need in 1..=28 {
             let plan = plan_shrinks(&jobs, need, ShrinkStrategy::EvenWaterFill).expect("feasible");
-            assert_eq!(plan.iter().map(|(_, k)| k).sum::<u32>(), need, "need {need}");
+            assert_eq!(
+                plan.iter().map(|(_, k)| k).sum::<u32>(),
+                need,
+                "need {need}"
+            );
         }
     }
 
@@ -474,7 +497,10 @@ mod tests {
     #[test]
     fn cup_skips_victims_without_cheap_point_before_prediction() {
         let plan = plan_cup(
-            &[cc(1, 10, 5_000, 100, None), cc(2, 10, 5_000, 100, Some(2_000))],
+            &[
+                cc(1, 10, 5_000, 100, None),
+                cc(2, 10, 5_000, 100, Some(2_000)),
+            ],
             8,
             t(1_000),
         );

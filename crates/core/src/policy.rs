@@ -22,7 +22,12 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    pub const ALL: [PolicyKind; 4] = [PolicyKind::Fcfs, PolicyKind::Sjf, PolicyKind::Ljf, PolicyKind::Wfp3];
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Fcfs,
+        PolicyKind::Sjf,
+        PolicyKind::Ljf,
+        PolicyKind::Wfp3,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -147,7 +152,10 @@ mod tests {
 
     #[test]
     fn od_front_class_beats_any_score() {
-        let od = JobSpecBuilder::on_demand(99).submit_at(t(9_999)).size(4).build();
+        let od = JobSpecBuilder::on_demand(99)
+            .submit_at(t(9_999))
+            .size(4)
+            .build();
         let old = JobSpecBuilder::rigid(1).submit_at(t(0)).size(4).build();
         let k_od = queue_key(PolicyKind::Fcfs, &od, true, t(10_000));
         let k_old = queue_key(PolicyKind::Fcfs, &old, false, t(10_000));

@@ -11,12 +11,20 @@ pub enum TimelineEvent {
     Submitted,
     NoticeReceived,
     /// Run started on `size` nodes.
-    Started { size: u32 },
+    Started {
+        size: u32,
+    },
     Preempted,
     /// Two-minute warning began.
     DrainStarted,
-    Shrunk { from: u32, to: u32 },
-    Expanded { from: u32, to: u32 },
+    Shrunk {
+        from: u32,
+        to: u32,
+    },
+    Expanded {
+        from: u32,
+        to: u32,
+    },
     Finished,
     Failed,
     Killed,
@@ -181,7 +189,10 @@ mod tests {
     #[test]
     fn gantt_marks_start_and_finish() {
         let g = sample().render_gantt(60);
-        let lane1 = g.lines().find(|l| l.trim_start().starts_with("J1")).unwrap();
+        let lane1 = g
+            .lines()
+            .find(|l| l.trim_start().starts_with("J1"))
+            .unwrap();
         assert!(lane1.contains('['));
         assert!(lane1.contains(']'));
         assert!(lane1.contains('x'));

@@ -45,11 +45,7 @@ impl JobRecord {
     /// `max(turnaround / max(runtime, 10 s), 1)`.
     pub fn bounded_slowdown(&self) -> Option<f64> {
         let tat = self.turnaround()?.as_secs() as f64;
-        let run = self
-            .finish?
-            .since(self.first_start?)
-            .as_secs()
-            .max(10) as f64;
+        let run = self.finish?.since(self.first_start?).as_secs().max(10) as f64;
         Some((tat / run).max(1.0))
     }
 
@@ -170,7 +166,9 @@ impl Recorder {
     }
 
     fn rec(&mut self, id: JobId) -> &mut JobRecord {
-        self.records.get_mut(&id).unwrap_or_else(|| panic!("{id} was never submitted"))
+        self.records
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("{id} was never submitted"))
     }
 
     pub fn get(&self, id: JobId) -> Option<&JobRecord> {
@@ -223,10 +221,12 @@ preemptions,shrinks,expands,failures,killed\n",
                 r.category.label(),
                 r.size,
                 r.submit.as_secs(),
-                r.first_start.map_or(String::new(), |t| t.as_secs().to_string()),
+                r.first_start
+                    .map_or(String::new(), |t| t.as_secs().to_string()),
                 r.finish.map_or(String::new(), |t| t.as_secs().to_string()),
                 r.wait().map_or(String::new(), |d| d.as_secs().to_string()),
-                r.turnaround().map_or(String::new(), |d| d.as_secs().to_string()),
+                r.turnaround()
+                    .map_or(String::new(), |d| d.as_secs().to_string()),
                 r.preemptions,
                 r.shrinks,
                 r.expands,

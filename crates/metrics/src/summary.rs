@@ -129,7 +129,11 @@ impl Metrics {
 
         let kind_stats = |i: usize| KindStats {
             completed: per[i].1,
-            avg_turnaround_h: if per[i].1 > 0 { per[i].0 / per[i].1 as f64 } else { 0.0 },
+            avg_turnaround_h: if per[i].1 > 0 {
+                per[i].0 / per[i].1 as f64
+            } else {
+                0.0
+            },
             preemption_ratio: if per[i].3 > 0 {
                 per[i].2 as f64 / per[i].3 as f64
             } else {
@@ -176,12 +180,24 @@ impl Metrics {
         let decision_max_us = d.last().copied().unwrap_or(0) as f64 / 1_000.0;
 
         Metrics {
-            avg_turnaround_h: if n_completed > 0 { sum_tat / n_completed as f64 } else { 0.0 },
+            avg_turnaround_h: if n_completed > 0 {
+                sum_tat / n_completed as f64
+            } else {
+                0.0
+            },
             rigid: kind_stats(0),
             on_demand: kind_stats(1),
             malleable: kind_stats(2),
-            instant_start_rate: if od_total > 0 { od_instant as f64 / od_total as f64 } else { 0.0 },
-            strict_instant_rate: if od_total > 0 { od_strict as f64 / od_total as f64 } else { 0.0 },
+            instant_start_rate: if od_total > 0 {
+                od_instant as f64 / od_total as f64
+            } else {
+                0.0
+            },
+            strict_instant_rate: if od_total > 0 {
+                od_strict as f64 / od_total as f64
+            } else {
+                0.0
+            },
             utilization,
             raw_occupancy,
             completed_jobs: n_completed,
@@ -190,8 +206,16 @@ impl Metrics {
             decision_mean_us,
             decision_p99_us,
             decision_max_us,
-            avg_wait_h: if wait_n > 0 { wait_sum / wait_n as f64 } else { 0.0 },
-            avg_bounded_slowdown: if slow_n > 0 { slow_sum / slow_n as f64 } else { 0.0 },
+            avg_wait_h: if wait_n > 0 {
+                wait_sum / wait_n as f64
+            } else {
+                0.0
+            },
+            avg_bounded_slowdown: if slow_n > 0 {
+                slow_sum / slow_n as f64
+            } else {
+                0.0
+            },
             instant_by_category,
             total_failures,
         }

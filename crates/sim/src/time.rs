@@ -187,7 +187,14 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = self.0;
         let (d, r) = (s / 86_400, s % 86_400);
-        write!(f, "{}+{:02}:{:02}:{:02}", d, r / 3_600, (r % 3_600) / 60, r % 60)
+        write!(
+            f,
+            "{}+{:02}:{:02}:{:02}",
+            d,
+            r / 3_600,
+            (r % 3_600) / 60,
+            r % 60
+        )
     }
 }
 

@@ -23,8 +23,8 @@
 //!   their predicted arrival; the accuracy category mix is the W1–W5 setting
 //!   of Table III.
 
-use crate::dist::{weighted_index, Exponential, TruncatedLogNormal, Zipf};
 use crate::dist::LogNormal;
+use crate::dist::{weighted_index, Exponential, TruncatedLogNormal, Zipf};
 use crate::ids::{JobId, ProjectId};
 use crate::job::{JobKind, JobSpec, NoticeCategory, NoticeSpec};
 use crate::trace::Trace;
@@ -43,15 +43,40 @@ pub struct NoticeMix {
 
 impl NoticeMix {
     /// W1: 70 % without advance notice.
-    pub const W1: NoticeMix = NoticeMix { no_notice: 0.7, accurate: 0.1, early: 0.1, late: 0.1 };
+    pub const W1: NoticeMix = NoticeMix {
+        no_notice: 0.7,
+        accurate: 0.1,
+        early: 0.1,
+        late: 0.1,
+    };
     /// W2: 70 % with accurate notice.
-    pub const W2: NoticeMix = NoticeMix { no_notice: 0.1, accurate: 0.7, early: 0.1, late: 0.1 };
+    pub const W2: NoticeMix = NoticeMix {
+        no_notice: 0.1,
+        accurate: 0.7,
+        early: 0.1,
+        late: 0.1,
+    };
     /// W3: 70 % arrive early.
-    pub const W3: NoticeMix = NoticeMix { no_notice: 0.1, accurate: 0.1, early: 0.7, late: 0.1 };
+    pub const W3: NoticeMix = NoticeMix {
+        no_notice: 0.1,
+        accurate: 0.1,
+        early: 0.7,
+        late: 0.1,
+    };
     /// W4: 70 % arrive late.
-    pub const W4: NoticeMix = NoticeMix { no_notice: 0.1, accurate: 0.1, early: 0.1, late: 0.7 };
+    pub const W4: NoticeMix = NoticeMix {
+        no_notice: 0.1,
+        accurate: 0.1,
+        early: 0.1,
+        late: 0.7,
+    };
     /// W5: equal split (also the §IV-B default configuration).
-    pub const W5: NoticeMix = NoticeMix { no_notice: 0.25, accurate: 0.25, early: 0.25, late: 0.25 };
+    pub const W5: NoticeMix = NoticeMix {
+        no_notice: 0.25,
+        accurate: 0.25,
+        early: 0.25,
+        late: 0.25,
+    };
 
     /// The five workloads of Table III, with their paper names.
     pub const TABLE3: [(&'static str, NoticeMix); 5] = [
@@ -338,7 +363,11 @@ impl<'c> Generator<'c> {
         let od_w = &cfg.od_size_bucket_weights[..nb.min(5)];
         let base_bucket: Vec<usize> = (0..np)
             .map(|p| {
-                let w = if kind_of[p] == JobKind::OnDemand { od_w } else { global_w };
+                let w = if kind_of[p] == JobKind::OnDemand {
+                    od_w
+                } else {
+                    global_w
+                };
                 weighted_index(w, &mut self.rng)
             })
             .collect();
@@ -379,17 +408,18 @@ impl<'c> Generator<'c> {
                 for j in &mut jobs {
                     let est_factor = j.estimate.as_secs() as f64 / j.work.as_secs().max(1) as f64;
                     let setup_frac = j.setup.as_secs() as f64 / j.work.as_secs().max(1) as f64;
-                    let new_work = (j.work.as_secs() as f64 * ratio)
-                        .round()
-                        .clamp(cfg.min_runtime.as_secs() as f64, cfg.max_runtime.as_secs() as f64)
-                        as u64;
+                    let new_work = (j.work.as_secs() as f64 * ratio).round().clamp(
+                        cfg.min_runtime.as_secs() as f64,
+                        cfg.max_runtime.as_secs() as f64,
+                    ) as u64;
                     j.work = SimDuration::from_secs(new_work.max(60));
                     let est = (j.work.as_secs() as f64 * est_factor) as u64;
                     j.estimate = SimDuration::from_secs(est.div_ceil(1_800) * 1_800)
                         .max(j.work)
                         .min(cfg.max_runtime.max(j.work));
-                    j.setup =
-                        SimDuration::from_secs((j.work.as_secs() as f64 * setup_frac).round() as u64);
+                    j.setup = SimDuration::from_secs(
+                        (j.work.as_secs() as f64 * setup_frac).round() as u64,
+                    );
                 }
             }
         }
@@ -456,7 +486,13 @@ impl<'c> Generator<'c> {
         size.max(cfg.min_job_size)
     }
 
-    fn emit_job(&mut self, project: usize, kind: JobKind, base_bucket: usize, t_gen: SimTime) -> JobSpec {
+    fn emit_job(
+        &mut self,
+        project: usize,
+        kind: JobKind,
+        base_bucket: usize,
+        t_gen: SimTime,
+    ) -> JobSpec {
         let cfg = self.cfg;
         let mut kind = kind;
         let mut size = self.sample_size(kind, base_bucket);
@@ -491,7 +527,8 @@ impl<'c> Generator<'c> {
             JobKind::OnDemand => (0.0, 0.0),
         };
         let setup_frac = if setup_frac_range.1 > setup_frac_range.0 {
-            self.rng.random_range(setup_frac_range.0..setup_frac_range.1)
+            self.rng
+                .random_range(setup_frac_range.0..setup_frac_range.1)
         } else {
             setup_frac_range.0
         };
@@ -540,14 +577,20 @@ impl<'c> Generator<'c> {
             NoticeCategory::NoNotice => (t_gen, None, NoticeCategory::NoNotice),
             NoticeCategory::Accurate => (
                 predicted,
-                Some(NoticeSpec { notice_time: t_gen, predicted_arrival: predicted }),
+                Some(NoticeSpec {
+                    notice_time: t_gen,
+                    predicted_arrival: predicted,
+                }),
                 NoticeCategory::Accurate,
             ),
             NoticeCategory::Early => {
                 let arrive = t_gen + SimDuration::from_secs(self.rng.random_range(0..lead_s));
                 (
                     arrive,
-                    Some(NoticeSpec { notice_time: t_gen, predicted_arrival: predicted }),
+                    Some(NoticeSpec {
+                        notice_time: t_gen,
+                        predicted_arrival: predicted,
+                    }),
                     NoticeCategory::Early,
                 )
             }
@@ -555,7 +598,10 @@ impl<'c> Generator<'c> {
                 let slack = self.rng.random_range(1..=cfg.late_window.as_secs());
                 (
                     predicted + SimDuration::from_secs(slack),
-                    Some(NoticeSpec { notice_time: t_gen, predicted_arrival: predicted }),
+                    Some(NoticeSpec {
+                        notice_time: t_gen,
+                        predicted_arrival: predicted,
+                    }),
                     NoticeCategory::Late,
                 )
             }
@@ -592,7 +638,11 @@ mod tests {
         assert!(tr.jobs.iter().all(|j| j.work <= SimDuration::from_days(1)));
         assert!(tr.jobs.iter().all(|j| j.estimate >= j.work));
         let projects: std::collections::HashSet<_> = tr.jobs.iter().map(|j| j.project).collect();
-        assert!(projects.len() > 50, "expected many active projects, got {}", projects.len());
+        assert!(
+            projects.len() > 50,
+            "expected many active projects, got {}",
+            projects.len()
+        );
     }
 
     #[test]
@@ -658,7 +708,12 @@ mod tests {
         };
         let tr = cfg.generate(11);
         for j in tr.iter_kind(JobKind::OnDemand) {
-            assert!(j.size <= tr.system_size / 2, "OD {} too large: {}", j.id, j.size);
+            assert!(
+                j.size <= tr.system_size / 2,
+                "OD {} too large: {}",
+                j.id,
+                j.size
+            );
         }
         // The reassignment must have produced some rigid/malleable jobs.
         assert!(tr.count_kind(JobKind::Rigid) + tr.count_kind(JobKind::Malleable) > 0);
@@ -669,7 +724,13 @@ mod tests {
         let cfg = TraceConfig::theta_2019();
         assert_eq!(
             cfg.size_buckets(),
-            vec![(128, 256), (256, 512), (512, 1_024), (1_024, 2_048), (2_048, 4_393)]
+            vec![
+                (128, 256),
+                (256, 512),
+                (512, 1_024),
+                (1_024, 2_048),
+                (2_048, 4_393)
+            ]
         );
         let tiny = TraceConfig::tiny();
         let b = tiny.size_buckets();

@@ -158,7 +158,10 @@ impl JobSpec {
             ));
         }
         if self.kind != JobKind::Malleable && self.min_size != self.size {
-            return Err(format!("{}: non-malleable job with min_size < size", self.id));
+            return Err(format!(
+                "{}: non-malleable job with min_size < size",
+                self.id
+            ));
         }
         if self.work.is_zero() {
             return Err(format!("{}: zero work", self.id));
@@ -182,7 +185,10 @@ impl JobSpec {
                 }
                 NoticeCategory::Accurate => {
                     if self.submit != n.predicted_arrival {
-                        return Err(format!("{}: accurate notice but submit != predicted", self.id));
+                        return Err(format!(
+                            "{}: accurate notice but submit != predicted",
+                            self.id
+                        ));
                     }
                 }
                 NoticeCategory::Early => {
@@ -197,7 +203,10 @@ impl JobSpec {
                 }
             }
         } else if self.kind == JobKind::OnDemand && self.category != NoticeCategory::NoNotice {
-            return Err(format!("{}: category {:?} without notice", self.id, self.category));
+            return Err(format!(
+                "{}: category {:?} without notice",
+                self.id, self.category
+            ));
         }
         Ok(())
     }
@@ -259,7 +268,11 @@ impl JobSpecBuilder {
     }
 
     pub fn min_size(mut self, n: u32) -> Self {
-        assert_eq!(self.spec.kind, JobKind::Malleable, "min_size only for malleable");
+        assert_eq!(
+            self.spec.kind,
+            JobKind::Malleable,
+            "min_size only for malleable"
+        );
         self.spec.min_size = n;
         self
     }
@@ -284,7 +297,11 @@ impl JobSpecBuilder {
 
     /// Attach an advance notice and derive the category from the timing.
     pub fn notice(mut self, notice_time: SimTime, predicted: SimTime) -> Self {
-        assert_eq!(self.spec.kind, JobKind::OnDemand, "notice only for on-demand");
+        assert_eq!(
+            self.spec.kind,
+            JobKind::OnDemand,
+            "notice only for on-demand"
+        );
         self.spec.notice = Some(NoticeSpec {
             notice_time,
             predicted_arrival: predicted,

@@ -68,7 +68,12 @@ impl SizeBucketStat {
 pub fn size_histogram(trace: &Trace, buckets: &[(u32, u32)]) -> Vec<SizeBucketStat> {
     let mut out: Vec<SizeBucketStat> = buckets
         .iter()
-        .map(|&(lo, hi)| SizeBucketStat { lo, hi, n_jobs: 0, node_hours: 0.0 })
+        .map(|&(lo, hi)| SizeBucketStat {
+            lo,
+            hi,
+            n_jobs: 0,
+            node_hours: 0.0,
+        })
         .collect();
     for j in &trace.jobs {
         // Jobs below the first bucket (possible in scaled-down configs) fold
@@ -102,7 +107,11 @@ pub fn type_shares(trace: &Trace) -> TypeShares {
 
 /// Number of on-demand arrivals per week of the horizon (Fig. 5).
 pub fn weekly_on_demand(trace: &Trace) -> Vec<u32> {
-    let weeks = trace.horizon.as_secs().div_ceil(SimDuration::WEEK.as_secs()).max(1) as usize;
+    let weeks = trace
+        .horizon
+        .as_secs()
+        .div_ceil(SimDuration::WEEK.as_secs())
+        .max(1) as usize;
     let mut counts = vec![0u32; weeks];
     for j in trace.iter_kind(JobKind::OnDemand) {
         let w = (j.submit.as_secs() / SimDuration::WEEK.as_secs()) as usize;
@@ -122,7 +131,11 @@ pub fn coefficient_of_variation(series: &[u32]) -> f64 {
     if mean == 0.0 {
         return 0.0;
     }
-    let var = series.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = series
+        .iter()
+        .map(|&x| (x as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     var.sqrt() / mean
 }
 
@@ -166,7 +179,10 @@ mod tests {
         let job_share0 = hist[0].n_jobs as f64 / total_jobs as f64;
         let nh_share0 = hist[0].node_hours / total_nh;
         assert!(job_share0 > 0.35, "smallest bucket job share {job_share0}");
-        assert!(nh_share0 < job_share0, "node-hour share should lag job share");
+        assert!(
+            nh_share0 < job_share0,
+            "node-hour share should lag job share"
+        );
     }
 
     #[test]
@@ -208,8 +224,14 @@ mod tests {
     #[test]
     fn histogram_folds_out_of_range_sizes() {
         let jobs = vec![
-            JobSpecBuilder::rigid(0).size(2).submit_at(SimTime::ZERO).build(),
-            JobSpecBuilder::rigid(1).size(4_000).submit_at(SimTime::ZERO).build(),
+            JobSpecBuilder::rigid(0)
+                .size(2)
+                .submit_at(SimTime::ZERO)
+                .build(),
+            JobSpecBuilder::rigid(1)
+                .size(4_000)
+                .submit_at(SimTime::ZERO)
+                .build(),
         ];
         let tr = Trace::new(4_392, SimDuration::from_days(1), jobs);
         let hist = size_histogram(&tr, &[(128, 256), (256, 4_393)]);

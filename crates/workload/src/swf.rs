@@ -121,12 +121,10 @@ pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> 
             });
         }
         let num = |i: usize, what: &str| -> Result<i64, SwfError> {
-            f[i].parse::<f64>()
-                .map(|v| v as i64)
-                .map_err(|e| SwfError {
-                    line: ln + 1,
-                    message: format!("{what}: {e}"),
-                })
+            f[i].parse::<f64>().map(|v| v as i64).map_err(|e| SwfError {
+                line: ln + 1,
+                message: format!("{what}: {e}"),
+            })
         };
         let status = num(10, "status")?;
         if cfg.completed_only && status != 1 && status != -1 {
@@ -153,7 +151,11 @@ pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> 
             submit,
             runtime: runtime as u64,
             size,
-            estimate: if estimate > 0 { estimate as u64 } else { runtime as u64 },
+            estimate: if estimate > 0 {
+                estimate as u64
+            } else {
+                runtime as u64
+            },
             project,
         });
         horizon = horizon.max(submit);
@@ -171,7 +173,9 @@ pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> 
         let j = rng.random_range(0..=i);
         projects.swap(i, j);
     }
-    let n_od = ((projects.len() as f64) * cfg.od_project_frac).round().max(1.0) as usize;
+    let n_od = ((projects.len() as f64) * cfg.od_project_frac)
+        .round()
+        .max(1.0) as usize;
     let n_rigid = ((projects.len() as f64) * cfg.rigid_project_frac).round() as usize;
     let kind_of: HashMap<u32, JobKind> = projects
         .iter()
@@ -251,7 +255,12 @@ fn synthesize_notice(
     let idx = crate::dist::weighted_index(&cfg.notice_mix.weights(), rng);
     let lead_s = rng.random_range(cfg.notice_lead.0.as_secs()..=cfg.notice_lead.1.as_secs());
     let predicted = t_gen + SimDuration::from_secs(lead_s);
-    let spec = |pred| Some(NoticeSpec { notice_time: t_gen, predicted_arrival: pred });
+    let spec = |pred| {
+        Some(NoticeSpec {
+            notice_time: t_gen,
+            predicted_arrival: pred,
+        })
+    };
     match NoticeCategory::ALL[idx] {
         NoticeCategory::NoNotice => (t_gen, None, NoticeCategory::NoNotice),
         NoticeCategory::Accurate => (predicted, spec(predicted), NoticeCategory::Accurate),
@@ -261,7 +270,11 @@ fn synthesize_notice(
         }
         NoticeCategory::Late => {
             let slack = rng.random_range(1..=cfg.late_window.as_secs());
-            (predicted + SimDuration::from_secs(slack), spec(predicted), NoticeCategory::Late)
+            (
+                predicted + SimDuration::from_secs(slack),
+                spec(predicted),
+                NoticeCategory::Late,
+            )
         }
     }
 }
@@ -307,11 +320,19 @@ mod tests {
     fn field_mapping_is_correct() {
         let tr = import_swf(SAMPLE, &cfg()).expect("parse");
         // First job (SWF #1): submit 100, 128 procs, 3600 s run, 7200 est.
-        let j = tr.jobs.iter().find(|j| j.work.as_secs() == 3_600).expect("present");
+        let j = tr
+            .jobs
+            .iter()
+            .find(|j| j.work.as_secs() == 3_600)
+            .expect("present");
         assert_eq!(j.size, 128);
         assert_eq!(j.estimate.as_secs(), 7_200);
         // Third job: allocated -1 → requested 256 used.
-        let k = tr.jobs.iter().find(|j| j.work.as_secs() == 5_400).expect("present");
+        let k = tr
+            .jobs
+            .iter()
+            .find(|j| j.work.as_secs() == 5_400)
+            .expect("present");
         assert_eq!(k.size, 256);
     }
 
@@ -320,7 +341,11 @@ mod tests {
         let mut c = cfg();
         c.procs_per_node = 64;
         let tr = import_swf(SAMPLE, &c).expect("parse");
-        let j = tr.jobs.iter().find(|j| j.work.as_secs() == 3_600).expect("present");
+        let j = tr
+            .jobs
+            .iter()
+            .find(|j| j.work.as_secs() == 3_600)
+            .expect("present");
         assert_eq!(j.size, 2); // ceil(128/64)
     }
 

@@ -59,7 +59,12 @@ impl Trace {
     /// Serialise to the CSV interchange format (header + one row per job).
     pub fn to_csv(&self) -> String {
         let mut out = String::with_capacity(64 * (self.jobs.len() + 2));
-        let _ = writeln!(out, "#system_size={},horizon={}", self.system_size, self.horizon.as_secs());
+        let _ = writeln!(
+            out,
+            "#system_size={},horizon={}",
+            self.system_size,
+            self.horizon.as_secs()
+        );
         out.push_str(
             "id,project,kind,submit,size,min_size,work,estimate,setup,category,notice_time,predicted_arrival\n",
         );
@@ -99,11 +104,16 @@ impl Trace {
         let mut system_size = 0u32;
         let mut horizon = SimDuration::ZERO;
         for kv in meta.split(',') {
-            let (k, v) = kv.split_once('=').ok_or_else(|| format!("bad meta entry {kv}"))?;
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("bad meta entry {kv}"))?;
             match k {
-                "system_size" => system_size = v.parse().map_err(|e| format!("system_size: {e}"))?,
+                "system_size" => {
+                    system_size = v.parse().map_err(|e| format!("system_size: {e}"))?
+                }
                 "horizon" => {
-                    horizon = SimDuration::from_secs(v.parse().map_err(|e| format!("horizon: {e}"))?)
+                    horizon =
+                        SimDuration::from_secs(v.parse().map_err(|e| format!("horizon: {e}"))?)
                 }
                 other => return Err(format!("unknown meta key {other}")),
             }
@@ -119,12 +129,20 @@ impl Trace {
             }
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != 12 {
-                return Err(format!("line {}: expected 12 fields, got {}", ln + 3, f.len()));
+                return Err(format!(
+                    "line {}: expected 12 fields, got {}",
+                    ln + 3,
+                    f.len()
+                ));
             }
-            let parse_u64 =
-                |s: &str, what: &str| s.parse::<u64>().map_err(|e| format!("line {}: {what}: {e}", ln + 3));
-            let parse_u32 =
-                |s: &str, what: &str| s.parse::<u32>().map_err(|e| format!("line {}: {what}: {e}", ln + 3));
+            let parse_u64 = |s: &str, what: &str| {
+                s.parse::<u64>()
+                    .map_err(|e| format!("line {}: {what}: {e}", ln + 3))
+            };
+            let parse_u32 = |s: &str, what: &str| {
+                s.parse::<u32>()
+                    .map_err(|e| format!("line {}: {what}: {e}", ln + 3))
+            };
             let kind = match f[2] {
                 "rigid" => JobKind::Rigid,
                 "on-demand" => JobKind::OnDemand,

@@ -86,7 +86,12 @@ fn main() {
         table.row(vec![
             m.name().to_string(),
             format!("{:.0}", met.on_demand.avg_turnaround_h * 3_600.0 - 1_000.0),
-            if met.rigid.preemption_ratio > 0.4 { "yes" } else { "no" }.to_string(),
+            if met.rigid.preemption_ratio > 0.4 {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             format!("{wasted:.0}"),
             format!("{:.1}", met.utilization * 100.0),
         ]);

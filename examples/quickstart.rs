@@ -29,14 +29,24 @@ fn main() {
 
     println!("\nmechanism: {}", outcome.mechanism);
     println!("  avg turnaround        {:>7.1} h", m.avg_turnaround_h);
-    println!("    rigid / od / mall.  {:>6.1} / {:.1} / {:.1} h",
-        m.rigid.avg_turnaround_h, m.on_demand.avg_turnaround_h, m.malleable.avg_turnaround_h);
+    println!(
+        "    rigid / od / mall.  {:>6.1} / {:.1} / {:.1} h",
+        m.rigid.avg_turnaround_h, m.on_demand.avg_turnaround_h, m.malleable.avg_turnaround_h
+    );
     println!("  system utilization    {:>7.1} %", m.utilization * 100.0);
-    println!("  od instant-start rate {:>7.1} %", m.instant_start_rate * 100.0);
-    println!("  preemption ratio      {:>7.1} % rigid, {:.1} % malleable",
-        m.rigid.preemption_ratio * 100.0, m.malleable.preemption_ratio * 100.0);
-    println!("  scheduler decisions   {:>7.1} µs mean ({:.1} µs max)",
-        m.decision_mean_us, m.decision_max_us);
+    println!(
+        "  od instant-start rate {:>7.1} %",
+        m.instant_start_rate * 100.0
+    );
+    println!(
+        "  preemption ratio      {:>7.1} % rigid, {:.1} % malleable",
+        m.rigid.preemption_ratio * 100.0,
+        m.malleable.preemption_ratio * 100.0
+    );
+    println!(
+        "  scheduler decisions   {:>7.1} µs mean ({:.1} µs max)",
+        m.decision_mean_us, m.decision_max_us
+    );
 
     // 3. Compare with the plain FCFS/EASY baseline (Table II).
     let base = Simulator::run_trace(&SimConfig::baseline(), &trace);

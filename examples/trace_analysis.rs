@@ -7,8 +7,8 @@
 //! cargo run --release --example trace_analysis
 //! ```
 
-use hybrid_workload_sched::prelude::*;
 use hws_workload::stats;
+use hybrid_workload_sched::prelude::*;
 
 fn main() {
     let cfg = TraceConfig::theta_2019().with_jobs(6_000);
@@ -21,7 +21,10 @@ fn main() {
     println!("  active projects  {}", s.n_active_projects);
     println!("  max job length   {}", s.max_work);
     println!("  min job size     {} nodes", s.min_size);
-    println!("  total work       {:.2}M node-hours", s.total_node_hours / 1e6);
+    println!(
+        "  total work       {:.2}M node-hours",
+        s.total_node_hours / 1e6
+    );
 
     println!("\n== Fig. 3 style: size mix ==");
     let hist = stats::size_histogram(&trace, &cfg.size_buckets());
@@ -61,9 +64,16 @@ fn main() {
     let cv = stats::coefficient_of_variation(&weekly);
     let max = weekly.iter().copied().max().unwrap_or(1).max(1);
     for (w, n) in weekly.iter().enumerate().take(20) {
-        println!("  week {:>2} |{}", w + 1, "#".repeat((n * 50 / max) as usize));
+        println!(
+            "  week {:>2} |{}",
+            w + 1,
+            "#".repeat((n * 50 / max) as usize)
+        );
     }
-    println!("  (showing 20 of {} weeks; weekly CV = {cv:.2})", weekly.len());
+    println!(
+        "  (showing 20 of {} weeks; weekly CV = {cv:.2})",
+        weekly.len()
+    );
 
     // Round-trip through the CSV interchange format.
     let csv = trace.to_csv();

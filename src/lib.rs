@@ -42,14 +42,17 @@
 //! * [`hws_cluster`] — resource manager substrate: node states,
 //!   reservations, backfill squatting, shrink/expand, lease ledger.
 //! * [`hws_workload`] — job model and the calibrated synthetic Theta
-//!   trace generator (the real 2019 trace is proprietary; see DESIGN.md).
-//! * [`hws_core`] — queue policies, EASY backfilling, the six mechanisms,
-//!   and the trace-replay driver.
+//!   trace generator (the real 2019 trace is proprietary; see DESIGN.md §4).
+//! * [`hws_core`] — queue policies, EASY backfilling, the six mechanisms
+//!   as [`hws_core::MechanismHooks`] compositions, and the layered
+//!   trace-replay driver (DESIGN.md §2–§3).
 //! * [`hws_metrics`] — the paper's §IV-D metrics and cross-seed averaging.
 //!
 //! Every table and figure of the paper regenerates from `hws-bench`
-//! binaries (`cargo run -p hws-bench --bin fig6 --release`); see
-//! EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//! binaries (`cargo run -p hws-bench --bin fig6 --release`), which fan
+//! seeds across cores via [`hws_core::Simulator::run_sweep`]; DESIGN.md §7
+//! describes the sweep/bench plumbing and the recorded latency baseline
+//! (`BENCH_decision_latency.json`).
 
 pub use hws_cluster;
 pub use hws_core;
@@ -61,8 +64,10 @@ pub use hws_workload;
 pub mod prelude {
     pub use hws_cluster::{Cluster, LeaseLedger, NodeId};
     pub use hws_core::{
-        ArrivalStrategy, CkptConfig, Mechanism, NoticeStrategy, PolicyKind, ShrinkStrategy,
-        SimConfig, SimOutcome, Simulator, VictimOrder,
+        ArrivalPlan, ArrivalPolicy, ArrivalStrategy, ArrivalView, CkptConfig, CollectUntilArrival,
+        CollectUntilPredicted, Composed, IgnoreNotices, Mechanism, MechanismHooks, NoticeDecision,
+        NoticePolicy, NoticeStrategy, NoticeView, PolicyKind, PredictionView, PreemptAtArrival,
+        ShrinkStrategy, ShrinkThenPreempt, SimConfig, SimOutcome, Simulator, VictimOrder,
     };
     pub use hws_metrics::{Metrics, MetricsAvg, Recorder, Table};
     pub use hws_sim::{SimDuration, SimTime};

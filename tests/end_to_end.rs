@@ -21,7 +21,10 @@ fn every_mechanism_completes_every_job() {
         );
         assert_eq!(out.metrics.killed_jobs, 0, "{mechanism}");
         assert!(out.metrics.utilization <= 1.0 + 1e-9, "{mechanism}");
-        assert!(out.metrics.utilization <= out.metrics.raw_occupancy + 1e-9, "{mechanism}");
+        assert!(
+            out.metrics.utilization <= out.metrics.raw_occupancy + 1e-9,
+            "{mechanism}"
+        );
     }
 }
 
@@ -47,7 +50,11 @@ fn hybrid_mechanisms_far_exceed_baseline_instant_start() {
             m.instant_start_rate,
             base.instant_start_rate
         );
-        assert!(m.instant_start_rate > 0.7, "{mechanism}: {}", m.instant_start_rate);
+        assert!(
+            m.instant_start_rate > 0.7,
+            "{mechanism}: {}",
+            m.instant_start_rate
+        );
     }
 }
 
@@ -161,7 +168,10 @@ fn od_front_priority_over_later_batch_jobs() {
             .build(),
     ];
     let trace = Trace::new(100, D::from_days(1), jobs);
-    let out = Simulator::run_trace(&SimConfig::with_mechanism(Mechanism::N_PAA).paranoid(), &trace);
+    let out = Simulator::run_trace(
+        &SimConfig::with_mechanism(Mechanism::N_PAA).paranoid(),
+        &trace,
+    );
     assert_eq!(out.metrics.completed_jobs, 3);
     // OD job 1 runs 5000..6000, rigid job 2 runs 6000..7000.
     let od_tat = out.metrics.on_demand.avg_turnaround_h * 3_600.0;

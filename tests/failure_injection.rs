@@ -1,9 +1,9 @@
 //! Integration tests for the failure-injection extension: Daly-optimal
 //! checkpointing actually earns its keep once nodes can fail.
 
-use hybrid_workload_sched::prelude::*;
 use hws_core::FailureConfig;
 use hws_sim::{SimDuration as D, SimTime as T};
+use hybrid_workload_sched::prelude::*;
 
 fn failing_cfg(mtbf_hours: f64) -> SimConfig {
     SimConfig::baseline().with_failures(mtbf_hours).paranoid()

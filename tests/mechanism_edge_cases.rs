@@ -2,8 +2,8 @@
 //! arrivals cancelling CUP plans, late arrivals after the reservation
 //! timeout, partial expand-backs, and baseline semantics.
 
-use hybrid_workload_sched::prelude::*;
 use hws_sim::{SimDuration as D, SimTime as T};
+use hybrid_workload_sched::prelude::*;
 
 fn t(s: u64) -> T {
     T::from_secs(s)
@@ -33,7 +33,10 @@ fn early_arrival_cancels_cup_plans() {
             .build(),
     ];
     let trace = Trace::new(100, D::from_days(1), jobs);
-    let out = Simulator::run_trace(&SimConfig::with_mechanism(Mechanism::CUP_PAA).paranoid(), &trace);
+    let out = Simulator::run_trace(
+        &SimConfig::with_mechanism(Mechanism::CUP_PAA).paranoid(),
+        &trace,
+    );
     assert_eq!(out.metrics.completed_jobs, 2);
     // 40 free nodes at notice time covered the request: no preemption.
     assert_eq!(out.metrics.rigid.preemption_ratio, 0.0);
@@ -98,7 +101,10 @@ fn expand_back_is_partial_when_machine_is_busy() {
             .build(),
     ];
     let trace = Trace::new(100, D::from_days(2), jobs);
-    let out = Simulator::run_trace(&SimConfig::with_mechanism(Mechanism::N_SPAA).paranoid(), &trace);
+    let out = Simulator::run_trace(
+        &SimConfig::with_mechanism(Mechanism::N_SPAA).paranoid(),
+        &trace,
+    );
     assert_eq!(out.metrics.completed_jobs, 3);
     // Everything completed; the malleable job must have expanded at least
     // partially after the OD finished (else its tail would be much longer).
@@ -127,7 +133,11 @@ fn baseline_runs_malleable_at_full_size() {
     let trace = Trace::new(100, D::from_days(1), jobs);
     let base = Simulator::run_trace(&SimConfig::baseline().paranoid(), &trace).metrics;
     // Baseline: malleable waits 10_000 s for 80 nodes → TAT ≈ 10_990 s.
-    assert!(base.malleable.avg_turnaround_h > 3.0, "{}", base.malleable.avg_turnaround_h);
+    assert!(
+        base.malleable.avg_turnaround_h > 3.0,
+        "{}",
+        base.malleable.avg_turnaround_h
+    );
 
     let hybrid = Simulator::run_trace(
         &SimConfig::with_mechanism(Mechanism::N_PAA).paranoid(),
@@ -180,8 +190,14 @@ fn timeline_records_full_lifecycle() {
     let kinds: Vec<&E> = tl.entries.iter().map(|(_, _, e)| e).collect();
     assert!(kinds.iter().any(|e| matches!(e, E::Submitted)));
     assert!(kinds.iter().any(|e| matches!(e, E::Started { .. })));
-    assert!(kinds.iter().any(|e| matches!(e, E::Shrunk { .. })), "SPAA must shrink");
-    assert!(kinds.iter().any(|e| matches!(e, E::Expanded { .. })), "lease return must expand");
+    assert!(
+        kinds.iter().any(|e| matches!(e, E::Shrunk { .. })),
+        "SPAA must shrink"
+    );
+    assert!(
+        kinds.iter().any(|e| matches!(e, E::Expanded { .. })),
+        "lease return must expand"
+    );
     assert!(kinds.iter().any(|e| matches!(e, E::Finished)));
     // And the Gantt renders without panicking.
     assert!(tl.render_gantt(80).contains("J0"));

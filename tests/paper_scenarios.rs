@@ -2,8 +2,8 @@
 //! regressions in the mechanisms are caught without running the full
 //! experiment grid.
 
-use hybrid_workload_sched::prelude::*;
 use hws_sim::{SimDuration as D, SimTime as T};
+use hybrid_workload_sched::prelude::*;
 
 /// Average over a few seeds at the `small` scale.
 fn averaged(cfg: &SimConfig, tcfg: &TraceConfig, seeds: u64) -> Metrics {
@@ -126,7 +126,10 @@ fn two_minute_warning_is_the_instant_floor() {
             .build(),
     ];
     let trace = Trace::new(100, D::from_days(1), jobs);
-    let out = Simulator::run_trace(&SimConfig::with_mechanism(Mechanism::N_SPAA).paranoid(), &trace);
+    let out = Simulator::run_trace(
+        &SimConfig::with_mechanism(Mechanism::N_SPAA).paranoid(),
+        &trace,
+    );
     assert!((out.metrics.instant_start_rate - 1.0).abs() < 1e-9);
     assert_eq!(out.metrics.strict_instant_rate, 0.0);
     // Start delay is exactly the warning: TAT = 120 + work.
@@ -151,7 +154,10 @@ fn shrunk_lender_expands_back_after_od_completion() {
             .build(),
     ];
     let trace = Trace::new(100, D::from_days(1), jobs);
-    let out = Simulator::run_trace(&SimConfig::with_mechanism(Mechanism::N_SPAA).paranoid(), &trace);
+    let out = Simulator::run_trace(
+        &SimConfig::with_mechanism(Mechanism::N_SPAA).paranoid(),
+        &trace,
+    );
     assert_eq!(out.metrics.completed_jobs, 2);
     // The malleable job ran at 100 until t=2000 (2e5 of 1e6 node-seconds
     // done), at 60 nodes for ~1000 s (6e4), then back at 100. Total span:

@@ -2,8 +2,8 @@
 //! replay under every mechanism without violating the simulator's global
 //! invariants.
 
-use hybrid_workload_sched::prelude::*;
 use hws_sim::{SimDuration as D, SimTime as T};
+use hybrid_workload_sched::prelude::*;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -27,15 +27,17 @@ fn arb_job() -> impl Strategy<Value = ArbJob> {
         0..10u64,
         proptest::option::of(900..1_800u64),
     )
-        .prop_map(|(kind, submit, size, work, est_slack, setup_pct, notice_lead)| ArbJob {
-            kind,
-            submit,
-            size,
-            work,
-            est_slack,
-            setup_pct,
-            notice_lead,
-        })
+        .prop_map(
+            |(kind, submit, size, work, est_slack, setup_pct, notice_lead)| ArbJob {
+                kind,
+                submit,
+                size,
+                work,
+                est_slack,
+                setup_pct,
+                notice_lead,
+            },
+        )
 }
 
 fn build_trace(jobs: Vec<ArbJob>) -> Trace {

@@ -16,8 +16,8 @@
 //! head may raid lower-ranked waiting jobs' private reservations
 //! (DESIGN.md §2, "Deadlock avoidance").
 
-use hybrid_workload_sched::prelude::*;
 use hws_sim::{SimDuration as D, SimTime as T};
+use hybrid_workload_sched::prelude::*;
 
 #[test]
 fn reservation_hoarding_cannot_deadlock() {

@@ -1,0 +1,296 @@
+//! Offline stand-in for the crates.io `criterion` crate (see DESIGN.md §5).
+//!
+//! The build environment has no network access, so bench targets are built
+//! against this vendored subset: `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, and `BatchSize`.
+//!
+//! Measurement model: each benchmark is calibrated with a few warm-up
+//! iterations, then timed for a fixed wall-clock budget; the mean, minimum,
+//! and iteration count are printed per benchmark. Set `HWS_BENCH_JSON=path`
+//! to additionally write every result as a JSON array — the repo's
+//! `BENCH_decision_latency.json` regression baseline is recorded that way.
+//! There is no statistical analysis, outlier detection, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration batch sizing hint (accepted for API compatibility; the
+/// shim times each batch of one input individually either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub id: String,
+    pub iterations: u64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+}
+
+/// Top-level harness state: collects results across groups for the final
+/// summary and optional JSON export.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    /// Wall-clock measurement budget per benchmark.
+    budget: Duration,
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        let budget_ms = std::env::var("HWS_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            results: Vec::new(),
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            max_iterations: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let result = run_benchmark(id, self.budget, None, f);
+        eprintln!("  {}", render(&result));
+        self.results.push(result);
+        self
+    }
+
+    /// Print the run summary and honor `HWS_BENCH_JSON`. Called by
+    /// [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("HWS_BENCH_JSON") {
+            match std::fs::write(&path, results_to_json(&self.results)) {
+                Ok(()) => eprintln!("wrote {} results to {path}", self.results.len()),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing group-level settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    max_iterations: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream signature; the shim reuses the sample count as an iteration
+    /// cap, which serves the same purpose: bounding slow benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.max_iterations = Some(n as u64);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let result = run_benchmark(id, self.criterion.budget, self.max_iterations, f);
+        eprintln!("  {}", render(&result));
+        self.criterion.results.push(result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; records per-iteration timings.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<u64>,
+    budget: Duration,
+    max_iterations: Option<u64>,
+}
+
+impl Bencher {
+    fn done(&self, spent: Duration) -> bool {
+        spent >= self.budget
+            || self.samples_ns.len() as u64 >= self.max_iterations.unwrap_or(u64::MAX)
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (untimed).
+        std::hint::black_box(f());
+        let begin = Instant::now();
+        loop {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples_ns.push(t.elapsed().as_nanos() as u64);
+            if self.done(begin.elapsed()) {
+                break;
+            }
+        }
+    }
+
+    /// Times only `routine`; `setup` runs outside the measured window.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let begin = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as u64);
+            if self.done(begin.elapsed()) {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    id: String,
+    budget: Duration,
+    max_iterations: Option<u64>,
+    mut f: F,
+) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        budget,
+        max_iterations,
+    };
+    f(&mut b);
+    let n = b.samples_ns.len().max(1) as u64;
+    let total: u64 = b.samples_ns.iter().sum();
+    let min = b.samples_ns.iter().copied().min().unwrap_or(0);
+    BenchResult {
+        id,
+        iterations: n,
+        mean_ns: total as f64 / n as f64,
+        min_ns: min as f64,
+    }
+}
+
+fn render(r: &BenchResult) -> String {
+    format!(
+        "{:<44} mean {:>12} min {:>12} ({} iters)",
+        r.id,
+        fmt_ns(r.mean_ns),
+        fmt_ns(r.min_ns),
+        r.iterations
+    )
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"iterations\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{comma}\n",
+            r.id.replace('"', "'"),
+            r.iterations,
+            r.mean_ns,
+            r.min_ns
+        ));
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Upstream's `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Upstream's `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::new();
+        c.budget = Duration::from_millis(5);
+        {
+            let mut g = c.benchmark_group("t");
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|r| r.iterations >= 1));
+    }
+
+    #[test]
+    fn sample_size_caps_iterations() {
+        let mut c = Criterion::new();
+        c.budget = Duration::from_secs(5);
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(10);
+            g.bench_function("capped", |b| b.iter(|| 0u8));
+            g.finish();
+        }
+        assert!(c.results[0].iterations <= 10);
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = results_to_json(&[BenchResult {
+            id: "a/b".into(),
+            iterations: 3,
+            mean_ns: 10.5,
+            min_ns: 9.0,
+        }]);
+        assert!(j.starts_with("[\n") && j.ends_with("]\n"));
+        assert!(j.contains("\"id\": \"a/b\""));
+    }
+}
