@@ -12,7 +12,7 @@
 //! cargo run --release -p hws-bench --bin ablations
 //! ```
 
-use hws_bench::{run_averaged, seeds_from_env, Scale};
+use hws_bench::{run_averaged_source, seeds_from_env, Scale, TraceSource};
 use hws_core::{Mechanism, PolicyKind, ShrinkStrategy, SimConfig, VictimOrder};
 use hws_metrics::{Metrics, Table};
 use hws_sim::SimDuration;
@@ -43,8 +43,11 @@ const HEADER: [&str; 6] = [
 fn main() {
     let scale = Scale::from_env();
     let seeds = seeds_from_env();
-    let tcfg = scale.trace_config();
-    eprintln!("ablations: scale {scale:?}, {seeds} seeds per cell");
+    let source = TraceSource::from_env(scale);
+    eprintln!(
+        "ablations: scale {scale:?}, {}, {seeds} seeds per cell",
+        source.describe()
+    );
     let with_name = |name: &str, m: &Metrics| {
         let mut cells = vec![name.to_string()];
         cells.extend(row_of(m));
@@ -59,7 +62,7 @@ fn main() {
     ] {
         let mut cfg = SimConfig::with_mechanism(Mechanism::CUA_SPAA);
         cfg.backfill_on_reserved = on;
-        t.row(with_name(name, &run_averaged(&cfg, &tcfg, seeds)));
+        t.row(with_name(name, &run_averaged_source(&cfg, &source, seeds)));
     }
     println!("ABLATION 1: backfilling on on-demand reservations (CUA&SPAA)");
     println!("{}", t.render());
@@ -73,7 +76,7 @@ fn main() {
     ] {
         let mut cfg = SimConfig::with_mechanism(Mechanism::N_PAA);
         cfg.victim_order = order;
-        t.row(with_name(name, &run_averaged(&cfg, &tcfg, seeds)));
+        t.row(with_name(name, &run_averaged_source(&cfg, &source, seeds)));
     }
     println!("ABLATION 2: PAA victim ordering (N&PAA)");
     println!("{}", t.render());
@@ -86,7 +89,7 @@ fn main() {
     ] {
         let mut cfg = SimConfig::with_mechanism(Mechanism::N_SPAA);
         cfg.shrink_strategy = strat;
-        t.row(with_name(name, &run_averaged(&cfg, &tcfg, seeds)));
+        t.row(with_name(name, &run_averaged_source(&cfg, &source, seeds)));
     }
     println!("ABLATION 3: SPAA shrink distribution (N&SPAA)");
     println!("{}", t.render());
@@ -103,7 +106,10 @@ fn main() {
             "{secs} s warning{}",
             if secs == 120 { " (paper)" } else { "" }
         );
-        t.row(with_name(&label, &run_averaged(&cfg, &tcfg, seeds)));
+        t.row(with_name(
+            &label,
+            &run_averaged_source(&cfg, &source, seeds),
+        ));
     }
     println!("ABLATION 4: malleable preemption warning (N&PAA)");
     println!("{}", t.render());
@@ -121,7 +127,10 @@ fn main() {
                 ""
             }
         );
-        t.row(with_name(&label, &run_averaged(&cfg, &tcfg, seeds)));
+        t.row(with_name(
+            &label,
+            &run_averaged_source(&cfg, &source, seeds),
+        ));
     }
     println!("ABLATION 5: queue policy under CUA&SPAA");
     println!("{}", t.render());

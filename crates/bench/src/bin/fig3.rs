@@ -3,6 +3,7 @@
 //! smallest bucket dominates job count while core-hours shift toward the
 //! large buckets.
 
+use hws_bench::TraceSource;
 use hws_metrics::Table;
 use hws_workload::{stats, TraceConfig};
 
@@ -11,9 +12,9 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let cfg = TraceConfig::theta_2019();
-    let trace = cfg.generate(seed);
-    let hist = stats::size_histogram(&trace, &cfg.size_buckets());
+    let source = TraceSource::from_env_or(TraceConfig::theta_2019());
+    let trace = source.make_trace(seed);
+    let hist = stats::size_histogram(&trace, &source.size_buckets(&trace));
     let total_jobs: usize = hist.iter().map(|b| b.n_jobs).sum();
     let total_nh: f64 = hist.iter().map(|b| b.node_hours).sum();
 

@@ -3,17 +3,17 @@
 //! significantly on different traces because different projects have
 //! significant differences in sizes and submission patterns."
 
-use hws_bench::seeds_from_env;
+use hws_bench::{seeds_from_env, TraceSource};
 use hws_metrics::Table;
 use hws_workload::{stats, TraceConfig};
 
 fn main() {
     let seeds = seeds_from_env();
-    let cfg = TraceConfig::theta_2019();
+    let source = TraceSource::from_env_or(TraceConfig::theta_2019());
     let mut t = Table::new(vec!["Trace", "Rigid %", "On-demand %", "Malleable %"]);
     let mut od_range = (f64::MAX, f64::MIN);
     for seed in 0..seeds {
-        let trace = cfg.generate(seed);
+        let trace = source.make_trace(seed);
         let s = stats::type_shares(&trace);
         od_range = (od_range.0.min(s.on_demand), od_range.1.max(s.on_demand));
         t.row(vec![

@@ -2,12 +2,13 @@
 //! demonstrating the bursty submission pattern (high week-to-week
 //! coefficient of variation).
 
+use hws_bench::TraceSource;
 use hws_metrics::Table;
 use hws_workload::{stats, TraceConfig};
 
 fn main() {
-    let cfg = TraceConfig::theta_2019();
-    let traces: Vec<_> = (0..3).map(|s| cfg.generate(s)).collect();
+    let source = TraceSource::from_env_or(TraceConfig::theta_2019());
+    let traces: Vec<_> = (0..3).map(|s| source.make_trace(s)).collect();
     let series: Vec<Vec<u32>> = traces.iter().map(stats::weekly_on_demand).collect();
 
     let mut t = Table::new(vec!["Week", "Trace 0", "Trace 1", "Trace 2"]);

@@ -10,7 +10,7 @@
 //! `-- --check` additionally evaluates the paper's Observations 1–9 against
 //! the measured grid and prints a pass/fail line per observation.
 
-use hws_bench::{run_fig6_grid, seeds_from_env, Scale};
+use hws_bench::{run_fig6_grid, seeds_from_env, Scale, TraceSource};
 use hws_core::{Mechanism, SimConfig};
 use hws_metrics::{Metrics, Table};
 
@@ -18,9 +18,10 @@ fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let scale = Scale::from_env();
     let seeds = seeds_from_env();
-    let tcfg = scale.trace_config();
+    let source = TraceSource::from_env(scale);
     eprintln!(
-        "fig6: scale {scale:?}, {seeds} seeds x 5 workloads x 6 mechanisms = {} sims",
+        "fig6: scale {scale:?}, {}, {seeds} seeds x 5 workloads x 6 mechanisms = {} sims",
+        source.describe(),
         seeds * 30
     );
 
@@ -43,8 +44,8 @@ fn main() {
     }
     println!("{}", t3.render());
 
-    let baseline = hws_bench::run_averaged(&SimConfig::baseline(), &tcfg, seeds);
-    let rows = run_fig6_grid(&tcfg, seeds, &Mechanism::ALL_SIX);
+    let baseline = hws_bench::run_averaged_source(&SimConfig::baseline(), &source, seeds);
+    let rows = run_fig6_grid(&source, seeds, &Mechanism::ALL_SIX);
 
     type Panel = (&'static str, fn(&Metrics) -> String);
     let metric_panels: [Panel; 8] = [

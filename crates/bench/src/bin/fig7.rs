@@ -8,17 +8,18 @@
 //! reduce rigid turnaround and improve utilization for every mechanism,
 //! because preemptions (not failures) dominate interruptions.
 
-use hws_bench::{run_averaged, seeds_from_env, Scale};
+use hws_bench::{run_averaged_source, seeds_from_env, Scale, TraceSource};
 use hws_core::{Mechanism, SimConfig};
 use hws_metrics::{Metrics, Table};
 
 fn main() {
     let scale = Scale::from_env();
     let seeds = seeds_from_env();
-    let tcfg = scale.trace_config();
+    let source = TraceSource::from_env(scale);
     let factors = [0.25, 0.5, 1.0, 2.0];
     eprintln!(
-        "fig7: scale {scale:?}, {seeds} seeds x {} factors x 6 mechanisms",
+        "fig7: scale {scale:?}, {}, {seeds} seeds x {} factors x 6 mechanisms",
+        source.describe(),
         factors.len()
     );
 
@@ -26,7 +27,7 @@ fn main() {
     for &f in &factors {
         for m in Mechanism::ALL_SIX {
             let cfg = SimConfig::with_mechanism(m).ckpt_factor(f);
-            results.push((f, m, run_averaged(&cfg, &tcfg, seeds)));
+            results.push((f, m, run_averaged_source(&cfg, &source, seeds)));
         }
     }
 

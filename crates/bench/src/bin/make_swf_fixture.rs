@@ -1,0 +1,34 @@
+//! Regenerate the bundled SWF replay fixture `data/theta_quick.swf`.
+//!
+//! The fixture is the **plain** SWF export (standard raw fields only — no
+//! `HWS-Embedded` extension) of the quick-scale Theta-shaped synthetic
+//! trace at seed 42, so it mimics what a real archive log carries: submit,
+//! runtime, size, estimate, status, and project, but no job classes or
+//! advance notices. `--bin swf_replay` re-imports it through the paper's
+//! §IV-A protocol, and a unit test in `hws-bench` pins the committed file
+//! to this generator (provenance: DESIGN.md §8).
+
+use hws_bench::{bundled_swf_fixture, swf_fixture_trace_config, SWF_FIXTURE_SEED};
+use hws_workload::{to_swf, SwfExportConfig};
+
+fn main() {
+    let trace = swf_fixture_trace_config().generate(SWF_FIXTURE_SEED);
+    trace.validate().expect("generated trace is valid");
+    let swf = to_swf(
+        &trace,
+        &SwfExportConfig {
+            embed_classes: false,
+            procs_per_node: 1,
+        },
+    );
+    let path = bundled_swf_fixture();
+    std::fs::create_dir_all(path.parent().expect("fixture has a parent dir"))
+        .expect("create data dir");
+    std::fs::write(&path, &swf).expect("write fixture");
+    println!(
+        "wrote {} ({} jobs, {} bytes, seed {SWF_FIXTURE_SEED})",
+        path.display(),
+        trace.len(),
+        swf.len()
+    );
+}

@@ -3,6 +3,7 @@
 //! Paper values: ALCF / Cobalt / 4,392 KNL nodes / Jan–Dec 2019 /
 //! 37,298 jobs / 211 projects / max job length 1 day / min job size 128.
 
+use hws_bench::TraceSource;
 use hws_metrics::Table;
 use hws_workload::{stats, TraceConfig};
 
@@ -11,9 +12,9 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let cfg = TraceConfig::theta_2019();
-    let trace = cfg.generate(seed);
-    trace.validate().expect("generated trace is valid");
+    let source = TraceSource::from_env_or(TraceConfig::theta_2019());
+    let trace = source.make_trace(seed);
+    trace.validate().expect("trace is valid");
     let s = stats::summarize(&trace);
 
     let mut t = Table::new(vec!["Property", "Synthetic trace", "Theta 2019 (paper)"]);

@@ -9,20 +9,20 @@
 //! HWS_SCALE=full HWS_SEEDS=10 cargo run --release -p hws-bench --bin table2
 //! ```
 
-use hws_bench::{run_averaged, seeds_from_env, Scale};
+use hws_bench::{run_averaged_source, seeds_from_env, Scale, TraceSource};
 use hws_core::SimConfig;
 use hws_metrics::Table;
 
 fn main() {
     let scale = Scale::from_env();
     let seeds = seeds_from_env();
-    let tcfg = scale.trace_config();
+    let source = TraceSource::from_env(scale);
     eprintln!(
-        "table2: scale {scale:?}, {seeds} seeds, {} jobs/trace",
-        tcfg.target_jobs
+        "table2: scale {scale:?}, {seeds} seeds, {}",
+        source.describe()
     );
 
-    let m = run_averaged(&SimConfig::baseline(), &tcfg, seeds);
+    let m = run_averaged_source(&SimConfig::baseline(), &source, seeds);
 
     let mut t = Table::new(vec![
         "Avg. Turnaround",

@@ -1,7 +1,8 @@
 //! # hws-bench — experiment harness
 //!
 //! One binary per table/figure of the paper (see `src/bin/`), plus shared
-//! plumbing: multi-seed parallel execution and result aggregation. The
+//! plumbing: the [`TraceSource`] abstraction (synthetic generator or SWF
+//! replay), multi-seed parallel execution, and result aggregation. The
 //! Criterion benches under `benches/` cover Observation 10 (decision
 //! latency) and simulator/backfill throughput.
 //!
@@ -11,11 +12,17 @@
 //!   (the paper's scale). Default is a calibrated 1/6-scale trace (2 months)
 //!   that preserves system size, load, and burstiness.
 //! * `HWS_SEEDS=n` — number of random traces per cell (paper: 10).
+//! * `HWS_SWF=path` — replay a real SWF log instead of generating
+//!   synthetic traces: every figure binary then imports the log once per
+//!   seed (the seed drives the §IV-A class/notice assignment, mirroring
+//!   the paper's "ten randomly generated traces" protocol). `HWS_SWF_PPN`
+//!   sets processors per node for logs that count processors.
 
 use hws_core::{Mechanism, SimConfig, Simulator};
 use hws_metrics::{Metrics, MetricsAvg};
 use hws_sim::SimDuration;
-use hws_workload::{NoticeMix, TraceConfig};
+use hws_workload::{import_swf_reader, NoticeMix, SwfImportConfig, Trace, TraceConfig};
+use std::path::{Path, PathBuf};
 
 /// Experiment scale selected via `HWS_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,14 +74,129 @@ pub fn seeds_from_env() -> u64 {
         .unwrap_or(10)
 }
 
-/// Run `cfg` over `seeds` independently generated traces in parallel and
+/// Where a figure binary gets its per-seed traces from: the calibrated
+/// synthetic generator, or a real SWF archive log replayed through the
+/// paper's §IV-A class-assignment protocol. Either way `make_trace(seed)`
+/// is a pure function of the seed, so [`Simulator::run_sweep_with`] keeps
+/// its bitwise-deterministic per-seed guarantee.
+#[derive(Debug, Clone)]
+pub enum TraceSource {
+    /// Generate a synthetic Theta-shaped trace per seed.
+    Synthetic(TraceConfig),
+    /// Stream-import an SWF file per seed; the seed overrides
+    /// `cfg.seed`, varying the class/notice assignment across seeds.
+    SwfFile { path: PathBuf, cfg: SwfImportConfig },
+}
+
+impl TraceSource {
+    /// The `HWS_SWF`/`HWS_SWF_PPN` environment selection, when set. The
+    /// single parser for those variables — every binary that honors them
+    /// goes through here so they can never drift apart.
+    pub fn swf_from_env() -> Option<TraceSource> {
+        let path = std::env::var("HWS_SWF").ok().filter(|p| !p.is_empty())?;
+        let ppn = std::env::var("HWS_SWF_PPN")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        Some(TraceSource::swf(
+            path,
+            SwfImportConfig {
+                procs_per_node: ppn,
+                ..SwfImportConfig::default()
+            },
+        ))
+    }
+
+    /// `HWS_SWF=path` selects SWF replay (with `HWS_SWF_PPN` processors
+    /// per node); otherwise fall back to the synthetic `fallback` config.
+    pub fn from_env_or(fallback: TraceConfig) -> TraceSource {
+        Self::swf_from_env().unwrap_or(TraceSource::Synthetic(fallback))
+    }
+
+    /// The standard source of a figure binary: `HWS_SWF` replay when set,
+    /// else the synthetic config at `scale`.
+    pub fn from_env(scale: Scale) -> TraceSource {
+        Self::from_env_or(scale.trace_config())
+    }
+
+    /// SWF replay of `path` with explicit import options.
+    pub fn swf(path: impl Into<PathBuf>, cfg: SwfImportConfig) -> TraceSource {
+        TraceSource::SwfFile {
+            path: path.into(),
+            cfg,
+        }
+    }
+
+    /// Override the advance-notice accuracy mix (Table III workloads) in
+    /// whichever configuration this source carries.
+    pub fn with_notice_mix(mut self, mix: NoticeMix) -> TraceSource {
+        match &mut self {
+            TraceSource::Synthetic(cfg) => cfg.notice_mix = mix,
+            TraceSource::SwfFile { cfg, .. } => cfg.notice_mix = mix,
+        }
+        self
+    }
+
+    /// Produce the trace for one seed. SWF files are re-streamed from disk
+    /// per seed (a million-line log never has to fit in memory); panics on
+    /// IO/parse errors, as the figure binaries have no fallback anyway.
+    pub fn make_trace(&self, seed: u64) -> Trace {
+        match self {
+            TraceSource::Synthetic(cfg) => cfg.generate(seed),
+            TraceSource::SwfFile { path, cfg } => {
+                let file = std::fs::File::open(path)
+                    .unwrap_or_else(|e| panic!("open {}: {e}", path.display()));
+                let cfg = SwfImportConfig {
+                    seed,
+                    ..cfg.clone()
+                };
+                import_swf_reader(std::io::BufReader::new(file), &cfg)
+                    .unwrap_or_else(|e| panic!("import {}: {e}", path.display()))
+            }
+        }
+    }
+
+    /// Doubling size buckets for Fig. 3-style histograms: derived from the
+    /// synthetic config, or from the imported trace's smallest job.
+    pub fn size_buckets(&self, trace: &Trace) -> Vec<(u32, u32)> {
+        match self {
+            TraceSource::Synthetic(cfg) => cfg.size_buckets(),
+            TraceSource::SwfFile { .. } => {
+                let min = trace.jobs.iter().map(|j| j.size).min().unwrap_or(1).max(1);
+                let mut buckets = Vec::new();
+                let mut lo = min;
+                while buckets.len() < 4 && lo * 2 < trace.system_size {
+                    buckets.push((lo, lo * 2));
+                    lo *= 2;
+                }
+                buckets.push((lo, trace.system_size + 1));
+                buckets
+            }
+        }
+    }
+
+    /// One-line description for the binaries' stderr banners.
+    pub fn describe(&self) -> String {
+        match self {
+            TraceSource::Synthetic(cfg) => format!(
+                "synthetic ({} jobs over {} days)",
+                cfg.target_jobs,
+                cfg.horizon.as_secs() / 86_400
+            ),
+            TraceSource::SwfFile { path, .. } => format!("SWF replay of {}", path.display()),
+        }
+    }
+}
+
+/// Run `cfg` over `seeds` traces drawn from `source` in parallel and
 /// average the metrics (the paper's averaging protocol). Routed through
-/// [`Simulator::run_sweep`], which fans the seeds across CPU cores while
-/// keeping every per-seed result bitwise identical to a sequential run.
-pub fn run_averaged(sim_cfg: &SimConfig, trace_cfg: &TraceConfig, seeds: u64) -> Metrics {
+/// [`Simulator::run_sweep_with`], which fans the seeds across CPU cores
+/// while keeping every per-seed result bitwise identical to a sequential
+/// run.
+pub fn run_averaged_source(sim_cfg: &SimConfig, source: &TraceSource, seeds: u64) -> Metrics {
     assert!(seeds > 0);
     let seed_list: Vec<u64> = (0..seeds).collect();
-    let outcomes = Simulator::run_sweep(sim_cfg, trace_cfg, &seed_list);
+    let outcomes = Simulator::run_sweep_with(sim_cfg, &seed_list, |s| source.make_trace(s));
     let mut avg = MetricsAvg::new();
     for outcome in &outcomes {
         avg.push(&outcome.metrics);
@@ -82,27 +204,50 @@ pub fn run_averaged(sim_cfg: &SimConfig, trace_cfg: &TraceConfig, seeds: u64) ->
     avg.mean()
 }
 
+/// Synthetic-only convenience wrapper kept for callers that hold a
+/// [`TraceConfig`] (examples, tests).
+pub fn run_averaged(sim_cfg: &SimConfig, trace_cfg: &TraceConfig, seeds: u64) -> Metrics {
+    run_averaged_source(sim_cfg, &TraceSource::Synthetic(trace_cfg.clone()), seeds)
+}
+
 /// Run every (mechanism × workload) cell of Fig. 6 and return
 /// `(workload name, mechanism, averaged metrics)` rows.
 pub fn run_fig6_grid(
-    trace_base: &TraceConfig,
+    source: &TraceSource,
     seeds: u64,
     mechanisms: &[Mechanism],
 ) -> Vec<(&'static str, Mechanism, Metrics)> {
     let mut rows = Vec::new();
     for (wname, mix) in NoticeMix::TABLE3 {
-        let tcfg = trace_base.clone().with_notice_mix(mix);
+        let wsource = source.clone().with_notice_mix(mix);
         for &m in mechanisms {
             let scfg = SimConfig::with_mechanism(m);
-            rows.push((wname, m, run_averaged(&scfg, &tcfg, seeds)));
+            rows.push((wname, m, run_averaged_source(&scfg, &wsource, seeds)));
         }
     }
     rows
 }
 
+/// The bundled SWF replay fixture: a plain-SWF export of the quick-scale
+/// Theta-shaped trace at seed 42 (see `--bin make_swf_fixture`, which
+/// regenerates it, and DESIGN.md §8 for provenance).
+pub fn bundled_swf_fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("data/theta_quick.swf")
+}
+
+/// The generator settings behind [`bundled_swf_fixture`]; fixed so the
+/// fixture is reproducible regardless of `HWS_SCALE`.
+pub fn swf_fixture_trace_config() -> TraceConfig {
+    Scale::Quick.trace_config()
+}
+
+/// Seed of the bundled fixture.
+pub const SWF_FIXTURE_SEED: u64 = 42;
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hws_workload::JobKind;
 
     #[test]
     fn scale_from_env_defaults_to_standard() {
@@ -129,5 +274,77 @@ mod tests {
         let b = run_averaged(&scfg, &tcfg, 2);
         assert!((a.avg_turnaround_h - b.avg_turnaround_h).abs() < 1e-12);
         assert!((a.utilization - b.utilization).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_source_without_env_is_synthetic() {
+        if std::env::var("HWS_SWF").is_err() {
+            assert!(matches!(
+                TraceSource::from_env(Scale::Quick),
+                TraceSource::Synthetic(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn swf_source_traces_vary_by_seed_but_are_deterministic() {
+        let src = TraceSource::swf(bundled_swf_fixture(), SwfImportConfig::default());
+        let a = src.make_trace(1);
+        let b = src.make_trace(1);
+        let c = src.make_trace(2);
+        assert_eq!(a, b);
+        // Same raw jobs, different class assignment.
+        assert_eq!(a.len(), c.len());
+        assert_ne!(a, c);
+        assert!(a.validate().is_ok());
+        assert!(a.count_kind(JobKind::OnDemand) > 0);
+    }
+
+    #[test]
+    fn bundled_fixture_matches_its_generator_provenance() {
+        // The committed fixture must be exactly what `make_swf_fixture`
+        // writes: the plain-SWF export of the quick-scale trace at the
+        // fixture seed. Regenerate with
+        // `cargo run -p hws-bench --bin make_swf_fixture` if this fails.
+        let expected = hws_workload::to_swf(
+            &swf_fixture_trace_config().generate(SWF_FIXTURE_SEED),
+            &hws_workload::SwfExportConfig {
+                embed_classes: false,
+                procs_per_node: 1,
+            },
+        );
+        let on_disk = std::fs::read_to_string(bundled_swf_fixture()).expect("fixture present");
+        assert_eq!(on_disk, expected, "fixture out of date");
+    }
+
+    #[test]
+    fn swf_sweep_matches_sequential_bitwise() {
+        // The swf_replay acceptance bar, at test scale: parallel sweeping
+        // over the imported fixture must not perturb any per-seed metric.
+        let src = TraceSource::swf(bundled_swf_fixture(), SwfImportConfig::default());
+        let mut cfg = SimConfig::with_mechanism(Mechanism::CUA_SPAA);
+        cfg.measure_decisions = false;
+        let seeds = [0u64, 1];
+        let swept = Simulator::run_sweep_with(&cfg, &seeds, |s| src.make_trace(s));
+        for (out, &seed) in swept.iter().zip(&seeds) {
+            let sequential = Simulator::run_trace(&cfg, &src.make_trace(seed));
+            assert_eq!(out.metrics, sequential.metrics, "seed {seed}");
+            assert_eq!(out.engine, sequential.engine, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn notice_mix_override_applies_to_both_variants() {
+        let syn = TraceSource::Synthetic(TraceConfig::tiny()).with_notice_mix(NoticeMix::W2);
+        match syn {
+            TraceSource::Synthetic(cfg) => assert_eq!(cfg.notice_mix, NoticeMix::W2),
+            _ => unreachable!(),
+        }
+        let swf = TraceSource::swf(bundled_swf_fixture(), SwfImportConfig::default())
+            .with_notice_mix(NoticeMix::W3);
+        match swf {
+            TraceSource::SwfFile { cfg, .. } => assert_eq!(cfg.notice_mix, NoticeMix::W3),
+            _ => unreachable!(),
+        }
     }
 }

@@ -92,6 +92,19 @@ impl Simulator {
     /// equality). The figure/table binaries in `hws-bench` route through
     /// this entry point.
     pub fn run_sweep(cfg: &SimConfig, trace_cfg: &TraceConfig, seeds: &[u64]) -> Vec<SimOutcome> {
+        Simulator::run_sweep_with(cfg, seeds, |seed| trace_cfg.generate(seed))
+    }
+
+    /// Like [`Simulator::run_sweep`], but over an arbitrary trace factory:
+    /// `make_trace(seed)` is called once per seed from the worker threads.
+    /// This is how trace sources other than the synthetic generator — SWF
+    /// replays, recorded CSV traces — fan across cores with the same
+    /// bitwise-deterministic per-seed guarantee (the factory must be a pure
+    /// function of the seed).
+    pub fn run_sweep_with<F>(cfg: &SimConfig, seeds: &[u64], make_trace: F) -> Vec<SimOutcome>
+    where
+        F: Fn(u64) -> Trace + Sync,
+    {
         if seeds.is_empty() {
             return Vec::new();
         }
@@ -107,7 +120,7 @@ impl Simulator {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&seed) = seeds.get(i) else { break };
-                    let trace = trace_cfg.generate(seed);
+                    let trace = make_trace(seed);
                     let outcome = Simulator::run_trace(cfg, &trace);
                     *slots[i].lock().expect("sweep slot") = Some(outcome);
                 });

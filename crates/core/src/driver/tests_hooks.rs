@@ -53,6 +53,31 @@ fn run_sweep_empty_seed_list() {
 }
 
 #[test]
+fn run_sweep_with_arbitrary_factory_matches_sequential() {
+    // The generic sweep must honor the same bitwise guarantee for any
+    // trace factory (here: a seed-dependent notice-mix override, standing
+    // in for SWF import or other non-generator sources).
+    let make = |seed: u64| {
+        let mix = if seed.is_multiple_of(2) {
+            hws_workload::NoticeMix::W2
+        } else {
+            hws_workload::NoticeMix::W4
+        };
+        TraceConfig::tiny().with_notice_mix(mix).generate(seed)
+    };
+    let mut cfg = SimConfig::with_mechanism(Mechanism::CUP_SPAA);
+    cfg.measure_decisions = false;
+    let seeds = [3u64, 4, 5, 6];
+    let swept = Simulator::run_sweep_with(&cfg, &seeds, make);
+    assert_eq!(swept.len(), seeds.len());
+    for (out, &seed) in swept.iter().zip(&seeds) {
+        let sequential = Simulator::run_trace(&cfg, &make(seed));
+        assert_eq!(out.metrics, sequential.metrics, "seed {seed}");
+        assert_eq!(out.engine, sequential.engine, "seed {seed}");
+    }
+}
+
+#[test]
 fn explicit_hooks_match_enum_mechanisms() {
     // Registering the standard compositions through `with_hooks` must be
     // indistinguishable from selecting the mechanism enum.

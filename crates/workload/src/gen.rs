@@ -344,7 +344,13 @@ impl<'c> Generator<'c> {
             let j = self.rng.random_range(0..=i);
             perm.swap(i, j);
         }
-        let n_od = ((np as f64) * cfg.od_project_frac).round().max(1.0) as usize;
+        // A zero fraction means no on-demand projects at all; only a
+        // nonzero fraction rounds up to at least one project.
+        let n_od = if cfg.od_project_frac > 0.0 {
+            ((np as f64) * cfg.od_project_frac).round().max(1.0) as usize
+        } else {
+            0
+        };
         let n_rigid = ((np as f64) * cfg.rigid_project_frac).round() as usize;
         let mut kind_of = vec![JobKind::Malleable; np];
         for (rank, &p) in perm.iter().enumerate() {
@@ -429,7 +435,12 @@ impl<'c> Generator<'c> {
         for (i, j) in jobs.iter_mut().enumerate() {
             j.id = JobId(i as u64);
         }
-        let trace = Trace::new(cfg.system_size, cfg.horizon, jobs);
+        // Burst gaps and late notices can push submissions past the
+        // nominal horizon; extend it so the `submit < horizon` invariant
+        // holds (Trace::validate enforces it).
+        let last_submit = jobs.iter().map(|j| j.submit.as_secs()).max().unwrap_or(0);
+        let horizon = cfg.horizon.max(SimDuration::from_secs(last_submit + 1));
+        let trace = Trace::new(cfg.system_size, horizon, jobs);
         debug_assert_eq!(trace.validate(), Ok(()));
         trace
     }
@@ -584,7 +595,14 @@ impl<'c> Generator<'c> {
                 NoticeCategory::Accurate,
             ),
             NoticeCategory::Early => {
-                let arrive = t_gen + SimDuration::from_secs(self.rng.random_range(0..lead_s));
+                // A zero lead leaves no room to arrive early; degenerate
+                // to the notice instant instead of sampling 0..0.
+                let early_s = if lead_s > 0 {
+                    self.rng.random_range(0..lead_s)
+                } else {
+                    0
+                };
+                let arrive = t_gen + SimDuration::from_secs(early_s);
                 (
                     arrive,
                     Some(NoticeSpec {
@@ -595,7 +613,13 @@ impl<'c> Generator<'c> {
                 )
             }
             NoticeCategory::Late => {
-                let slack = self.rng.random_range(1..=cfg.late_window.as_secs());
+                // A zero window means "late by nothing": land exactly on
+                // the prediction instead of sampling the empty 1..=0.
+                let slack = if cfg.late_window.as_secs() > 0 {
+                    self.rng.random_range(1..=cfg.late_window.as_secs())
+                } else {
+                    0
+                };
                 (
                     predicted + SimDuration::from_secs(slack),
                     Some(NoticeSpec {
@@ -758,6 +782,49 @@ mod tests {
         let tr = TraceConfig::tiny().generate(2);
         for (i, j) in tr.jobs.iter().enumerate() {
             assert_eq!(j.id, JobId(i as u64));
+        }
+    }
+
+    #[test]
+    fn zero_on_demand_fraction_generates_pure_batch() {
+        let cfg = TraceConfig {
+            od_project_frac: 0.0,
+            rigid_project_frac: 1.0,
+            ..TraceConfig::tiny()
+        };
+        let tr = cfg.generate(2);
+        assert_eq!(tr.count_kind(JobKind::OnDemand), 0);
+        assert!(tr.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_notice_ranges_do_not_panic() {
+        let cfg = TraceConfig {
+            od_project_frac: 1.0,
+            rigid_project_frac: 0.0,
+            notice_lead: (SimDuration::ZERO, SimDuration::ZERO),
+            late_window: SimDuration::ZERO,
+            ..TraceConfig::tiny()
+        };
+        for seed in 0..4 {
+            let tr = cfg.generate(seed);
+            assert!(tr.validate().is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn horizon_covers_every_submission() {
+        // Burst gaps and late notices can push submits past the nominal
+        // horizon; the generator must extend it.
+        let cfg = TraceConfig {
+            notice_mix: NoticeMix::W4, // 70 % arrive late
+            ..TraceConfig::tiny()
+        };
+        for seed in 0..4 {
+            let tr = cfg.generate(seed);
+            for j in &tr.jobs {
+                assert!(j.submit.as_secs() < tr.horizon.as_secs());
+            }
         }
     }
 

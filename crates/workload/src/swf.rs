@@ -1,7 +1,7 @@
-//! Import of the **Standard Workload Format** (SWF) used by the Parallel
-//! Workloads Archive — the de-facto interchange format for real HPC traces
-//! (the Theta trace the paper uses is Cobalt-native, but its published
-//! statistics line up with what an SWF export would carry).
+//! Import/export of the **Standard Workload Format** (SWF) used by the
+//! Parallel Workloads Archive — the de-facto interchange format for real
+//! HPC traces (the Theta trace the paper uses is Cobalt-native, but its
+//! published statistics line up with what an SWF export would carry).
 //!
 //! An SWF line has 18 whitespace-separated fields; this importer consumes
 //! the ones the hybrid-scheduling model needs:
@@ -23,6 +23,37 @@
 //! classes at the configured ratios, reassign oversized on-demand jobs,
 //! and synthesise advance notices from the requested mix. All of it is
 //! deterministic in the import seed.
+//!
+//! ## Streaming
+//!
+//! [`import_swf_reader`] consumes any [`BufRead`] line by line, so a
+//! million-line archive log never has to fit in one in-memory `String`;
+//! [`import_swf`] is a thin wrapper over it for in-memory text.
+//!
+//! ## Lossless export (`HWS-Embedded` extension)
+//!
+//! [`to_swf`] serialises a [`Trace`] back to SWF. In **embedded** mode
+//! (the default) the otherwise-unused SWF fields carry the hybrid-model
+//! attributes so `to_swf → import_swf` reproduces the trace byte-
+//! identically — the file declares itself with a `; HWS-Embedded: 1`
+//! header and the importer reconstructs jobs verbatim instead of running
+//! the §IV-A protocol. In **plain** mode only the standard raw fields are
+//! written (classes, notices, setup and minimum sizes are dropped), which
+//! is how the bundled replay fixture mimics a real archive log. Field map
+//! of the extension:
+//!
+//! | SWF field (standard meaning) | embedded use |
+//! |---|---|
+//! | 10 (requested memory) | [`NoticeCategory`] code 0–3 |
+//! | 14 (executable number) | setup seconds |
+//! | 15 (queue number) | [`JobKind`] code 1=rigid, 2=on-demand, 3=malleable |
+//! | 16 (partition number) | malleable minimum size (nodes) |
+//! | 17 (preceding job) | notice time (s), −1 when no notice |
+//! | 18 (think time) | predicted arrival (s), −1 when no notice |
+//!
+//! Sizes in embedded mode are node counts (`procs_per_node` is ignored);
+//! `; HWS-SystemSize:` and `; HWS-Horizon:` headers carry the remaining
+//! [`Trace`] fields.
 
 use crate::gen::NoticeMix;
 use crate::ids::{JobId, ProjectId};
@@ -32,17 +63,28 @@ use hws_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::io::BufRead;
 
 /// Import options.
 #[derive(Debug, Clone)]
 pub struct SwfImportConfig {
-    /// Total nodes of the target system. Jobs wider than this are clamped.
+    /// Total nodes of the target system, used when the file carries no
+    /// machine description of its own — a `; MaxNodes:` (or `; MaxProcs:`)
+    /// header always wins, so a 128-node machine's log is never silently
+    /// replayed at Theta scale. Jobs wider than the effective system are
+    /// clamped.
     pub system_size: u32,
     /// Processors per node (SWF counts processors; Theta-style scheduling
     /// is node-granular). Sizes are divided by this and rounded up.
     pub procs_per_node: u32,
-    /// Drop jobs whose SWF status is not 1 (completed).
+    /// Drop jobs whose SWF status is not 1 (completed). Jobs with the
+    /// *unknown* status `-1` are dropped too unless
+    /// [`SwfImportConfig::include_unknown_status`] is set.
     pub completed_only: bool,
+    /// Keep jobs whose SWF status is `-1` (unknown) even when
+    /// `completed_only` is set. Archive logs predating the status field
+    /// mark every job `-1`; flip this on for those.
+    pub include_unknown_status: bool,
     /// Fraction of projects assigned to each class (paper §IV-B defaults).
     pub od_project_frac: f64,
     pub rigid_project_frac: f64,
@@ -67,6 +109,7 @@ impl Default for SwfImportConfig {
             system_size: 4_392,
             procs_per_node: 1,
             completed_only: true,
+            include_unknown_status: false,
             od_project_frac: 0.10,
             rigid_project_frac: 0.60,
             notice_mix: NoticeMix::W5,
@@ -80,7 +123,29 @@ impl Default for SwfImportConfig {
     }
 }
 
-/// Import errors carry the offending line number.
+/// Export options for [`to_swf`].
+#[derive(Debug, Clone)]
+pub struct SwfExportConfig {
+    /// Write the `HWS-Embedded` extension fields (lossless round-trip).
+    /// When off, only the standard raw fields survive — classes, notices,
+    /// setup costs, and malleable minimums are dropped, as in a real log.
+    pub embed_classes: bool,
+    /// Processors per node written to the file in plain mode (sizes are
+    /// multiplied back to processor counts). Embedded mode always writes
+    /// node counts.
+    pub procs_per_node: u32,
+}
+
+impl Default for SwfExportConfig {
+    fn default() -> Self {
+        SwfExportConfig {
+            embed_classes: true,
+            procs_per_node: 1,
+        }
+    }
+}
+
+/// Import errors carry the offending line number (0 = whole-file error).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwfError {
     pub line: usize,
@@ -103,65 +168,214 @@ struct RawJob {
     project: u32,
 }
 
-/// Parse SWF text into a [`Trace`], applying the paper's type-assignment
-/// protocol. Comment lines (`;`) are skipped; malformed lines are errors.
-pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> {
-    let mut raws: Vec<RawJob> = Vec::new();
-    let mut horizon = 0u64;
-    for (ln, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with(';') {
-            continue;
-        }
-        let f: Vec<&str> = line.split_whitespace().collect();
-        if f.len() < 13 {
-            return Err(SwfError {
-                line: ln + 1,
-                message: format!("expected ≥13 fields, got {}", f.len()),
-            });
-        }
-        let num = |i: usize, what: &str| -> Result<i64, SwfError> {
-            f[i].parse::<f64>().map(|v| v as i64).map_err(|e| SwfError {
-                line: ln + 1,
-                message: format!("{what}: {e}"),
-            })
-        };
-        let status = num(10, "status")?;
-        if cfg.completed_only && status != 1 && status != -1 {
-            continue;
-        }
-        let submit = num(1, "submit")?.max(0) as u64;
-        let runtime = num(3, "runtime")?;
-        if runtime <= 0 {
-            continue; // cancelled before start
-        }
-        let alloc = num(4, "allocated procs")?;
-        let req = num(7, "requested procs")?;
-        let procs = if alloc > 0 { alloc } else { req };
-        if procs <= 0 {
-            continue;
-        }
-        let estimate = num(8, "requested time")?;
-        let gid = num(12, "group id")?;
-        let uid = num(11, "user id")?;
-        let project = if gid > 0 { gid } else { uid.max(0) } as u32;
-        let size = ((procs as u64).div_ceil(u64::from(cfg.procs_per_node.max(1))) as u32)
-            .clamp(1, cfg.system_size);
-        raws.push(RawJob {
-            submit,
-            runtime: runtime as u64,
-            size,
-            estimate: if estimate > 0 {
-                estimate as u64
-            } else {
-                runtime as u64
-            },
-            project,
+fn parse_fields(line: &str, ln: usize, min: usize) -> Result<Vec<&str>, SwfError> {
+    let f: Vec<&str> = line.split_whitespace().collect();
+    if f.len() < min {
+        return Err(SwfError {
+            line: ln,
+            message: format!("expected ≥{min} fields, got {}", f.len()),
         });
-        horizon = horizon.max(submit);
+    }
+    Ok(f)
+}
+
+fn field_num(f: &[&str], i: usize, ln: usize, what: &str) -> Result<i64, SwfError> {
+    f[i].parse::<f64>().map(|v| v as i64).map_err(|e| SwfError {
+        line: ln,
+        message: format!("{what}: {e}"),
+    })
+}
+
+/// Parse SWF text into a [`Trace`]. Thin wrapper over the streaming
+/// [`import_swf_reader`] for already-in-memory text.
+pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> {
+    import_swf_reader(text.as_bytes(), cfg)
+}
+
+/// Streaming SWF import: consumes `reader` line by line (comment lines
+/// `;` are skipped; malformed lines are errors) and applies the paper's
+/// type-assignment protocol — or, for files carrying the `HWS-Embedded`
+/// header, reconstructs the exported trace verbatim.
+pub fn import_swf_reader<R: BufRead>(reader: R, cfg: &SwfImportConfig) -> Result<Trace, SwfError> {
+    let mut raws: Vec<RawJob> = Vec::new();
+    let mut embedded_jobs: Vec<JobSpec> = Vec::new();
+    let mut embedded = false;
+    let mut emb_system_size: Option<u32> = None;
+    let mut emb_horizon: Option<u64> = None;
+    let mut max_nodes: Option<u32> = None;
+    let mut max_procs: Option<u64> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let ln = idx + 1;
+        let line = line.map_err(|e| SwfError {
+            line: ln,
+            message: format!("read error: {e}"),
+        })?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            let comment = comment.trim();
+            if let Some(v) = comment.strip_prefix("HWS-Embedded:") {
+                embedded = v.trim() == "1";
+            } else if let Some(v) = comment.strip_prefix("HWS-SystemSize:") {
+                emb_system_size = v.trim().parse().ok();
+            } else if let Some(v) = comment.strip_prefix("HWS-Horizon:") {
+                emb_horizon = v.trim().parse().ok();
+            } else if let Some(v) = comment.strip_prefix("MaxNodes:") {
+                max_nodes = v.trim().parse().ok();
+            } else if let Some(v) = comment.strip_prefix("MaxProcs:") {
+                max_procs = v.trim().parse().ok();
+            }
+            continue;
+        }
+        if embedded {
+            embedded_jobs.push(parse_embedded_line(line, ln)?);
+        } else if let Some(raw) = parse_plain_line(line, ln, cfg)? {
+            raws.push(raw);
+        }
     }
 
-    // Assign classes per project (§IV-A protocol).
+    // The log's own machine description wins over the configured fallback:
+    // the standard `MaxNodes` header directly, or `MaxProcs` scaled by
+    // `procs_per_node`. Replaying a 128-node machine's log must not
+    // silently pretend it ran on Theta.
+    let ppn = u64::from(cfg.procs_per_node.max(1));
+    let system_size = max_nodes
+        .or_else(|| max_procs.map(|p| u32::try_from(p.div_ceil(ppn)).unwrap_or(u32::MAX)))
+        .unwrap_or(cfg.system_size)
+        .max(1);
+    let trace = if embedded {
+        let horizon = emb_horizon.unwrap_or_else(|| {
+            embedded_jobs
+                .iter()
+                .map(|j| j.submit.as_secs())
+                .max()
+                .unwrap_or(0)
+                + 1
+        });
+        Trace::new(
+            emb_system_size.unwrap_or(system_size),
+            SimDuration::from_secs(horizon),
+            embedded_jobs,
+        )
+    } else {
+        assign_classes(raws, cfg, system_size)
+    };
+    trace.validate().map_err(|e| SwfError {
+        line: 0,
+        message: format!("imported trace invalid: {e}"),
+    })?;
+    Ok(trace)
+}
+
+/// Parse one standard SWF data line; `Ok(None)` means "filtered out"
+/// (wrong status, cancelled before start, no processors).
+fn parse_plain_line(
+    line: &str,
+    ln: usize,
+    cfg: &SwfImportConfig,
+) -> Result<Option<RawJob>, SwfError> {
+    let f = parse_fields(line, ln, 13)?;
+    let status = field_num(&f, 10, ln, "status")?;
+    if cfg.completed_only && status != 1 && !(status == -1 && cfg.include_unknown_status) {
+        return Ok(None);
+    }
+    let submit = field_num(&f, 1, ln, "submit")?.max(0) as u64;
+    let runtime = field_num(&f, 3, ln, "runtime")?;
+    if runtime <= 0 {
+        return Ok(None); // cancelled before start
+    }
+    let alloc = field_num(&f, 4, ln, "allocated procs")?;
+    let req = field_num(&f, 7, ln, "requested procs")?;
+    let procs = if alloc > 0 { alloc } else { req };
+    if procs <= 0 {
+        return Ok(None);
+    }
+    let estimate = field_num(&f, 8, ln, "requested time")?;
+    let gid = field_num(&f, 12, ln, "group id")?;
+    let uid = field_num(&f, 11, ln, "user id")?;
+    let project = if gid > 0 { gid } else { uid.max(0) } as u32;
+    // Node count, unclamped: the effective system size (file header or
+    // config) is only known once the whole file is read.
+    let size = u32::try_from((procs as u64).div_ceil(u64::from(cfg.procs_per_node.max(1))))
+        .unwrap_or(u32::MAX)
+        .max(1);
+    Ok(Some(RawJob {
+        submit,
+        runtime: runtime as u64,
+        size,
+        estimate: if estimate > 0 {
+            estimate as u64
+        } else {
+            runtime as u64
+        },
+        project,
+    }))
+}
+
+/// Parse one `HWS-Embedded` data line back into the exact [`JobSpec`] that
+/// [`to_swf`] serialised (see the module docs for the field map).
+fn parse_embedded_line(line: &str, ln: usize) -> Result<JobSpec, SwfError> {
+    let f = parse_fields(line, ln, 18)?;
+    let err = |message: String| SwfError { line: ln, message };
+    let id = field_num(&f, 0, ln, "job number")?;
+    if id < 1 {
+        return Err(err(format!("embedded job number must be ≥1, got {id}")));
+    }
+    let kind = match field_num(&f, 14, ln, "kind (queue)")? {
+        1 => JobKind::Rigid,
+        2 => JobKind::OnDemand,
+        3 => JobKind::Malleable,
+        other => return Err(err(format!("unknown embedded kind code {other}"))),
+    };
+    let category = match field_num(&f, 9, ln, "category (req mem)")? {
+        0 => NoticeCategory::NoNotice,
+        1 => NoticeCategory::Accurate,
+        2 => NoticeCategory::Early,
+        3 => NoticeCategory::Late,
+        other => return Err(err(format!("unknown embedded category code {other}"))),
+    };
+    let notice_time = field_num(&f, 16, ln, "notice time (preceding job)")?;
+    let predicted = field_num(&f, 17, ln, "predicted arrival (think time)")?;
+    let notice = if notice_time >= 0 && predicted >= 0 {
+        Some(NoticeSpec {
+            notice_time: SimTime::from_secs(notice_time as u64),
+            predicted_arrival: SimTime::from_secs(predicted as u64),
+        })
+    } else {
+        None
+    };
+    let nonneg = |i: usize, what: &str| -> Result<u64, SwfError> {
+        let v = field_num(&f, i, ln, what)?;
+        if v < 0 {
+            return Err(SwfError {
+                line: ln,
+                message: format!("{what} must be ≥0, got {v}"),
+            });
+        }
+        Ok(v as u64)
+    };
+    Ok(JobSpec {
+        id: JobId(id as u64 - 1),
+        project: ProjectId(nonneg(12, "group id")? as u32),
+        kind,
+        submit: SimTime::from_secs(nonneg(1, "submit")?),
+        size: nonneg(4, "size")? as u32,
+        min_size: nonneg(15, "min size (partition)")? as u32,
+        work: SimDuration::from_secs(nonneg(3, "runtime")?),
+        estimate: SimDuration::from_secs(nonneg(8, "requested time")?),
+        setup: SimDuration::from_secs(nonneg(13, "setup (executable)")?),
+        notice,
+        category,
+    })
+}
+
+/// The §IV-A protocol: assign whole projects to classes at the configured
+/// ratios, reassign oversized on-demand jobs, synthesise advance notices.
+/// `system_size` is the effective machine size (file header or config).
+fn assign_classes(raws: Vec<RawJob>, cfg: &SwfImportConfig, system_size: u32) -> Trace {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5DEE_CE66);
     let mut projects: Vec<u32> = {
         let mut set: Vec<u32> = raws.iter().map(|r| r.project).collect();
@@ -173,9 +387,16 @@ pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> 
         let j = rng.random_range(0..=i);
         projects.swap(i, j);
     }
-    let n_od = ((projects.len() as f64) * cfg.od_project_frac)
-        .round()
-        .max(1.0) as usize;
+    // A zero fraction means *no* projects of that class — only round a
+    // nonzero fraction up to at least one project, else a pure-batch
+    // replay baseline would be impossible.
+    let n_od = if cfg.od_project_frac > 0.0 {
+        ((projects.len() as f64) * cfg.od_project_frac)
+            .round()
+            .max(1.0) as usize
+    } else {
+        0
+    };
     let n_rigid = ((projects.len() as f64) * cfg.rigid_project_frac).round() as usize;
     let kind_of: HashMap<u32, JobKind> = projects
         .iter()
@@ -194,8 +415,9 @@ pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> 
 
     let mut jobs: Vec<JobSpec> = Vec::with_capacity(raws.len());
     for (i, r) in raws.into_iter().enumerate() {
+        let size = r.size.clamp(1, system_size);
         let mut kind = kind_of.get(&r.project).copied().unwrap_or(JobKind::Rigid);
-        if kind == JobKind::OnDemand && r.size > cfg.system_size / 2 {
+        if kind == JobKind::OnDemand && size > system_size / 2 {
             kind = if rng.random_range(0.0..1.0) < 0.5 {
                 JobKind::Rigid
             } else {
@@ -213,9 +435,9 @@ pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> 
             setup_range.0
         };
         let min_size = if kind == JobKind::Malleable {
-            ((r.size as f64 * cfg.malleable_min_frac).ceil() as u32).clamp(1, r.size)
+            ((size as f64 * cfg.malleable_min_frac).ceil() as u32).clamp(1, size)
         } else {
-            r.size
+            size
         };
         let (submit, notice, category) = if kind == JobKind::OnDemand {
             synthesize_notice(&mut rng, cfg, SimTime::from_secs(r.submit))
@@ -227,7 +449,7 @@ pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> 
             project: ProjectId(r.project),
             kind,
             submit,
-            size: r.size,
+            size,
             min_size,
             work: SimDuration::from_secs(r.runtime),
             estimate: SimDuration::from_secs(r.estimate.max(r.runtime)),
@@ -240,11 +462,11 @@ pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> 
     for (i, j) in jobs.iter_mut().enumerate() {
         j.id = JobId(i as u64);
     }
-    Ok(Trace::new(
-        cfg.system_size,
-        SimDuration::from_secs(horizon + 1),
-        jobs,
-    ))
+    // The horizon must cover *final* submit instants: synthesize_notice
+    // shifts on-demand arrivals to `predicted + slack`, which can land
+    // past the last raw submit time.
+    let horizon = jobs.iter().map(|j| j.submit.as_secs()).max().unwrap_or(0) + 1;
+    Trace::new(system_size, SimDuration::from_secs(horizon), jobs)
 }
 
 fn synthesize_notice(
@@ -265,11 +487,24 @@ fn synthesize_notice(
         NoticeCategory::NoNotice => (t_gen, None, NoticeCategory::NoNotice),
         NoticeCategory::Accurate => (predicted, spec(predicted), NoticeCategory::Accurate),
         NoticeCategory::Early => {
-            let arrive = t_gen + SimDuration::from_secs(rng.random_range(0..lead_s));
+            // A zero lead leaves no room to arrive early; degenerate to
+            // arriving at the notice instant instead of sampling 0..0.
+            let early_s = if lead_s > 0 {
+                rng.random_range(0..lead_s)
+            } else {
+                0
+            };
+            let arrive = t_gen + SimDuration::from_secs(early_s);
             (arrive, spec(predicted), NoticeCategory::Early)
         }
         NoticeCategory::Late => {
-            let slack = rng.random_range(1..=cfg.late_window.as_secs());
+            // A zero window means "late by nothing": arrive exactly at the
+            // prediction rather than sampling the empty range 1..=0.
+            let slack = if cfg.late_window.as_secs() > 0 {
+                rng.random_range(1..=cfg.late_window.as_secs())
+            } else {
+                0
+            };
             (
                 predicted + SimDuration::from_secs(slack),
                 spec(predicted),
@@ -279,18 +514,102 @@ fn synthesize_notice(
     }
 }
 
+/// Serialise a trace to SWF (see the module docs for the embedded-mode
+/// field map; plain mode keeps only the standard raw fields).
+pub fn to_swf(trace: &Trace, cfg: &SwfExportConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(80 * (trace.jobs.len() + 8));
+    out.push_str("; HWS SWF export v1\n");
+    if cfg.embed_classes {
+        out.push_str("; HWS-Embedded: 1\n");
+        let _ = writeln!(out, "; HWS-SystemSize: {}", trace.system_size);
+        let _ = writeln!(out, "; HWS-Horizon: {}", trace.horizon.as_secs());
+    }
+    let ppn = if cfg.embed_classes {
+        1
+    } else {
+        cfg.procs_per_node.max(1)
+    };
+    let _ = writeln!(out, "; MaxNodes: {}", trace.system_size);
+    let _ = writeln!(
+        out,
+        "; MaxProcs: {}",
+        u64::from(trace.system_size) * u64::from(ppn)
+    );
+    out.push_str("; UnixStartTime: 0\n");
+    for (pos, j) in trace.jobs.iter().enumerate() {
+        let procs = u64::from(j.size) * u64::from(ppn);
+        if cfg.embed_classes {
+            let kind_code = match j.kind {
+                JobKind::Rigid => 1,
+                JobKind::OnDemand => 2,
+                JobKind::Malleable => 3,
+            };
+            let cat_code = match j.category {
+                NoticeCategory::NoNotice => 0,
+                NoticeCategory::Accurate => 1,
+                NoticeCategory::Early => 2,
+                NoticeCategory::Late => 3,
+            };
+            let (nt, pa) = match &j.notice {
+                Some(n) => (
+                    n.notice_time.as_secs() as i64,
+                    n.predicted_arrival.as_secs() as i64,
+                ),
+                None => (-1, -1),
+            };
+            let _ = writeln!(
+                out,
+                "{} {} -1 {} {} -1 -1 {} {} {} 1 {} {} {} {} {} {} {}",
+                j.id.0 + 1,
+                j.submit.as_secs(),
+                j.work.as_secs(),
+                j.size,
+                j.size,
+                j.estimate.as_secs(),
+                cat_code,
+                j.project.0,
+                j.project.0,
+                j.setup.as_secs(),
+                kind_code,
+                j.min_size,
+                nt,
+                pa
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{} {} -1 {} {} -1 -1 {} {} -1 1 {} {} -1 -1 -1 -1 -1",
+                pos + 1,
+                j.submit.as_secs(),
+                j.work.as_secs(),
+                procs,
+                procs,
+                j.estimate.as_secs(),
+                j.project.0,
+                j.project.0,
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gen::TraceConfig;
+    use proptest::prelude::*;
 
-    /// Three jobs in classic SWF: the second failed (status 0), the third
-    /// uses requested procs because allocated is -1.
+    /// Four jobs in classic SWF: the second failed (status 0), the third
+    /// uses requested procs because allocated is -1, the fourth has the
+    /// unknown status -1.
     const SAMPLE: &str = "\
 ; SWF sample
 ; UnixStartTime: 0
   1   100  10  3600  128 -1 -1  128  7200 -1 1 7 3 1 1 -1 -1 -1
   2   200   5  1800   64 -1 -1   64  3600 -1 0 8 4 1 1 -1 -1 -1
   3   300  20  5400   -1 -1 -1  256  5400 -1 1 9 5 1 1 -1 -1 -1
+  4   400   5   600   32 -1 -1   32  1200 -1 -1 9 5 1 1 -1 -1 -1
 ";
 
     fn cfg() -> SwfImportConfig {
@@ -303,7 +622,7 @@ mod tests {
     #[test]
     fn parses_completed_jobs_only() {
         let tr = import_swf(SAMPLE, &cfg()).expect("parse");
-        assert_eq!(tr.len(), 2); // job 2 failed
+        assert_eq!(tr.len(), 2); // job 2 failed, job 4 status unknown
         assert_eq!(tr.system_size, 512);
         assert!(tr.validate().is_ok());
     }
@@ -313,7 +632,31 @@ mod tests {
         let mut c = cfg();
         c.completed_only = false;
         let tr = import_swf(SAMPLE, &c).expect("parse");
+        assert_eq!(tr.len(), 4);
+    }
+
+    #[test]
+    fn unknown_status_dropped_unless_included() {
+        // Regression: `completed_only` used to silently keep status -1
+        // jobs, contradicting its documentation.
+        let tr = import_swf(SAMPLE, &cfg()).expect("parse");
+        assert!(
+            !tr.jobs.iter().any(|j| j.work.as_secs() == 600),
+            "status -1 job must be dropped by default"
+        );
+        let mut c = cfg();
+        c.include_unknown_status = true;
+        let tr = import_swf(SAMPLE, &c).expect("parse");
         assert_eq!(tr.len(), 3);
+        assert!(tr.jobs.iter().any(|j| j.work.as_secs() == 600));
+    }
+
+    #[test]
+    fn streaming_reader_matches_in_memory_import() {
+        let a = import_swf(SAMPLE, &cfg()).expect("parse");
+        let b =
+            import_swf_reader(std::io::BufReader::new(SAMPLE.as_bytes()), &cfg()).expect("parse");
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -400,5 +743,247 @@ mod tests {
         let tr = import_swf(SAMPLE, &c).expect("parse");
         let big = tr.jobs.iter().find(|j| j.size == 256).expect("present");
         assert_ne!(big.kind, JobKind::OnDemand);
+    }
+
+    #[test]
+    fn max_nodes_header_overrides_config() {
+        // A real archive log describes its own machine; replaying a
+        // 300-node machine's log must not silently pretend it ran on the
+        // configured (Theta-sized) system.
+        let text = format!("; MaxNodes: 300\n{SAMPLE}");
+        let tr = import_swf(&text, &cfg()).expect("parse");
+        assert_eq!(tr.system_size, 300);
+        assert!(tr.jobs.iter().all(|j| j.size <= 300));
+        // Without the header the configured fallback applies.
+        assert_eq!(import_swf(SAMPLE, &cfg()).expect("parse").system_size, 512);
+    }
+
+    #[test]
+    fn max_procs_header_scales_by_procs_per_node() {
+        let text = format!("; MaxProcs: 6400\n{SAMPLE}");
+        let mut c = cfg();
+        c.procs_per_node = 64;
+        let tr = import_swf(&text, &c).expect("parse");
+        assert_eq!(tr.system_size, 100); // ceil(6400/64)
+    }
+
+    #[test]
+    fn zero_on_demand_fraction_yields_pure_batch() {
+        // Regression: `.max(1.0)` used to force one on-demand project even
+        // at od_project_frac == 0.0, making a pure-batch baseline
+        // impossible.
+        let mut c = cfg();
+        c.od_project_frac = 0.0;
+        c.rigid_project_frac = 1.0;
+        let tr = import_swf(SAMPLE, &c).expect("parse");
+        assert_eq!(tr.count_kind(JobKind::OnDemand), 0);
+        assert_eq!(tr.count_kind(JobKind::Rigid), tr.len());
+    }
+
+    #[test]
+    fn tiny_nonzero_fraction_still_rounds_up_to_one_project() {
+        let mut c = cfg();
+        c.od_project_frac = 0.001;
+        c.rigid_project_frac = 0.0;
+        let tr = import_swf(SAMPLE, &c).expect("parse");
+        assert!(tr.count_kind(JobKind::OnDemand) > 0);
+    }
+
+    #[test]
+    fn horizon_covers_late_arrivals() {
+        // Regression: the horizon used to track only *raw* submit times,
+        // but a Late-notice job arrives at `predicted + slack`, which can
+        // land past the last raw submission.
+        let mut c = cfg();
+        c.od_project_frac = 1.0;
+        c.rigid_project_frac = 0.0;
+        c.notice_mix = NoticeMix {
+            no_notice: 0.0,
+            accurate: 0.0,
+            early: 0.0,
+            late: 1.0,
+        };
+        let tr = import_swf(SAMPLE, &c).expect("parse");
+        assert!(!tr.is_empty());
+        for j in &tr.jobs {
+            assert!(
+                j.submit.as_secs() < tr.horizon.as_secs(),
+                "{}: submit {} outside horizon {}",
+                j.id,
+                j.submit.as_secs(),
+                tr.horizon.as_secs()
+            );
+        }
+        // The last raw submit is 300 s; every arrival is ≥ predicted
+        // (≥ 300 + 15 min), so the fixed horizon must exceed the raw one.
+        assert!(tr.horizon.as_secs() > 301);
+    }
+
+    #[test]
+    fn degenerate_notice_ranges_do_not_panic() {
+        // Regression: `random_range(1..=0)` when late_window is zero and
+        // `random_range(0..0)` when notice_lead is (0,0) both panicked.
+        let mut c = cfg();
+        c.od_project_frac = 1.0;
+        c.rigid_project_frac = 0.0;
+        c.late_window = SimDuration::ZERO;
+        c.notice_lead = (SimDuration::ZERO, SimDuration::ZERO);
+        for seed in 0..32 {
+            c.seed = seed;
+            let tr = import_swf(SAMPLE, &c).expect("parse");
+            assert!(tr.validate().is_ok(), "seed {seed}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Edge values of every `SwfImportConfig` knob — zero fractions,
+        /// zero windows, degenerate lead ranges, wide processor-per-node
+        /// factors — must never panic and must always yield a valid trace
+        /// whose submissions sit inside its horizon.
+        #[test]
+        fn import_survives_config_edge_values(
+            od_tenths in 0..=10u32,
+            rigid_tenths in 0..=10u32,
+            mix_idx in 0..6usize,
+            lead_lo_min in 0..=2u64,
+            lead_span_min in 0..=2u64,
+            late_min in 0..=2u64,
+            min_frac_tenths in 0..=10u32,
+            ppn in 1..=64u32,
+            seed in 0..1_000u64,
+        ) {
+            let od = f64::from(od_tenths) / 10.0;
+            let rigid = (f64::from(rigid_tenths) / 10.0).min(1.0 - od);
+            let mixes = [
+                NoticeMix::W1,
+                NoticeMix::W2,
+                NoticeMix::W3,
+                NoticeMix::W4,
+                NoticeMix::W5,
+                NoticeMix { no_notice: 0.0, accurate: 0.0, early: 0.0, late: 1.0 },
+            ];
+            let c = SwfImportConfig {
+                system_size: 512,
+                procs_per_node: ppn,
+                od_project_frac: od,
+                rigid_project_frac: rigid,
+                notice_mix: mixes[mix_idx],
+                notice_lead: (
+                    SimDuration::from_mins(lead_lo_min),
+                    SimDuration::from_mins(lead_lo_min + lead_span_min),
+                ),
+                late_window: SimDuration::from_mins(late_min),
+                malleable_min_frac: f64::from(min_frac_tenths) / 10.0,
+                seed,
+                ..SwfImportConfig::default()
+            };
+            let tr = import_swf(SAMPLE, &c).expect("import");
+            prop_assert!(tr.validate().is_ok());
+            prop_assert!(tr
+                .jobs
+                .iter()
+                .all(|j| j.submit.as_secs() < tr.horizon.as_secs()));
+            if od == 0.0 {
+                prop_assert_eq!(tr.count_kind(JobKind::OnDemand), 0);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Export round-trips
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn embedded_export_round_trips_byte_identically() {
+        // A generated trace exercises all three classes and all four
+        // notice categories.
+        let tr = TraceConfig::tiny().generate(3);
+        let swf = to_swf(&tr, &SwfExportConfig::default());
+        let back = import_swf(&swf, &cfg()).expect("re-import");
+        assert_eq!(tr, back);
+        // And the serialised form is stable.
+        assert_eq!(to_swf(&back, &SwfExportConfig::default()), swf);
+    }
+
+    #[test]
+    fn embedded_export_round_trips_an_imported_trace() {
+        let tr = import_swf(SAMPLE, &cfg()).expect("parse");
+        let swf = to_swf(&tr, &SwfExportConfig::default());
+        let back = import_swf(&swf, &cfg()).expect("re-import");
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn csv_round_trip_of_imported_trace_is_identity() {
+        // import_swf → to_csv → from_csv is lossless.
+        let tr = import_swf(SAMPLE, &cfg()).expect("parse");
+        let csv = tr.to_csv();
+        let back = Trace::from_csv(&csv).expect("csv parse");
+        assert_eq!(tr, back);
+        assert_eq!(back.to_csv(), csv);
+    }
+
+    #[test]
+    fn plain_export_drops_classes_but_keeps_raw_fields() {
+        let tr = TraceConfig::tiny().generate(7);
+        let plain = to_swf(
+            &tr,
+            &SwfExportConfig {
+                embed_classes: false,
+                procs_per_node: 1,
+            },
+        );
+        assert!(!plain.contains("HWS-Embedded"));
+        let c = SwfImportConfig {
+            system_size: tr.system_size,
+            ..SwfImportConfig::default()
+        };
+        let back = import_swf(&plain, &c).expect("re-import");
+        assert_eq!(back.len(), tr.len());
+        assert_eq!(back.system_size, tr.system_size);
+        // Raw per-job fields survive (classes are reassigned, and on-demand
+        // submit times may shift, so compare the batch jobs' raw columns).
+        let total_work: u64 = tr.jobs.iter().map(|j| j.work.as_secs()).sum();
+        let back_work: u64 = back.jobs.iter().map(|j| j.work.as_secs()).sum();
+        assert_eq!(total_work, back_work);
+        let sizes = |t: &Trace| {
+            let mut v: Vec<u32> = t.jobs.iter().map(|j| j.size).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes(&tr), sizes(&back));
+    }
+
+    #[test]
+    fn plain_export_scales_procs_per_node() {
+        let tr = TraceConfig::tiny().generate(1);
+        let plain = to_swf(
+            &tr,
+            &SwfExportConfig {
+                embed_classes: false,
+                procs_per_node: 64,
+            },
+        );
+        let c = SwfImportConfig {
+            system_size: tr.system_size,
+            procs_per_node: 64,
+            ..SwfImportConfig::default()
+        };
+        let back = import_swf(&plain, &c).expect("re-import");
+        let sizes = |t: &Trace| {
+            let mut v: Vec<u32> = t.jobs.iter().map(|j| j.size).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes(&tr), sizes(&back));
+    }
+
+    #[test]
+    fn embedded_rejects_garbage_codes() {
+        let mut swf = String::from("; HWS-Embedded: 1\n; HWS-SystemSize: 64\n");
+        swf.push_str("1 0 -1 100 4 -1 -1 4 200 0 1 0 0 0 9 4 -1 -1\n"); // kind 9
+        assert!(import_swf(&swf, &cfg()).is_err());
     }
 }

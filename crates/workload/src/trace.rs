@@ -10,8 +10,8 @@ use std::fmt::Write as _;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     pub system_size: u32,
-    /// Nominal horizon the generator targeted (submissions fall inside it;
-    /// completions may spill past it).
+    /// Horizon covering every submission — `validate` enforces
+    /// `submit < horizon` for all jobs (completions may spill past it).
     pub horizon: SimDuration,
     /// Jobs sorted by (submit, id).
     pub jobs: Vec<JobSpec>,
@@ -43,7 +43,8 @@ impl Trace {
         self.iter_kind(kind).count()
     }
 
-    /// Validate every job and the global ordering invariant.
+    /// Validate every job, the global ordering invariant, and the horizon
+    /// invariant (every submission falls inside the horizon).
     pub fn validate(&self) -> Result<(), String> {
         for w in self.jobs.windows(2) {
             if (w[0].submit, w[0].id) > (w[1].submit, w[1].id) {
@@ -52,6 +53,14 @@ impl Trace {
         }
         for j in &self.jobs {
             j.validate(self.system_size)?;
+            if j.submit.as_secs() >= self.horizon.as_secs() {
+                return Err(format!(
+                    "{}: submit {} outside horizon {}",
+                    j.id,
+                    j.submit.as_secs(),
+                    self.horizon.as_secs()
+                ));
+            }
         }
         Ok(())
     }
@@ -256,5 +265,14 @@ mod tests {
         let mut tr = sample_trace();
         tr.jobs.swap(0, 2);
         assert!(tr.validate().is_err());
+    }
+
+    #[test]
+    fn validate_flags_submissions_outside_horizon() {
+        let mut tr = sample_trace();
+        assert!(tr.validate().is_ok());
+        tr.horizon = SimDuration::from_secs(800); // last submit is at 900 s
+        let err = tr.validate().unwrap_err();
+        assert!(err.contains("outside horizon"), "{err}");
     }
 }
