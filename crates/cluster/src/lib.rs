@@ -25,7 +25,7 @@ pub use node::NodeId;
 
 use hws_workload::JobId;
 use node::NodeState;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Outcome of releasing a job's nodes: how many went back to the general
 /// free pool and how many returned to on-demand reservations the job was
@@ -44,7 +44,32 @@ impl ReleaseOutcome {
     }
 }
 
+/// Incremental per-job node split: how many of the job's nodes are plain
+/// `Busy` vs squatted (`ReservedBusy`). Maintained on every node transition
+/// so the hot path never rescans allocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Split {
+    plain: u32,
+    squatted: u32,
+}
+
 /// The machine: `n` identical nodes with per-node state.
+///
+/// Besides the authoritative per-node states, the cluster maintains three
+/// pieces of *derived* accounting, updated incrementally on every node
+/// transition so the scheduler's hot path is scan-free:
+///
+/// * `splits` — per running job, its `(plain, squatted)` node counts
+///   (makes [`Cluster::split_of`] O(1) instead of O(job size));
+/// * `squatter_index` — reservation holder → squatter → node count
+///   (makes [`Cluster::squatters`] O(squatters) instead of O(total nodes),
+///   and lets [`Cluster::release_reservation`] unsquat by walking only the
+///   affected allocations);
+/// * `reserved_idle_total` — running total of idle reserved nodes (makes
+///   [`Cluster::total_reserved_idle`] O(1)).
+///
+/// [`Cluster::check_invariants`] cross-validates all three against a full
+/// node scan; the simulator's `paranoid_checks` mode runs it per event.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<NodeState>,
@@ -54,6 +79,14 @@ pub struct Cluster {
     alloc: HashMap<JobId, Vec<NodeId>>,
     /// Reservation holder → idle reserved nodes (state `Reserved`).
     reserved_idle: HashMap<JobId, Vec<NodeId>>,
+    /// Running job → incremental `(plain, squatted)` counters.
+    splits: HashMap<JobId, Split>,
+    /// Holder → squatter → nodes of the squatter on that holder's
+    /// reservation. `BTreeMap` keeps [`Cluster::squatters`] output in
+    /// deterministic job-id order without a per-call sort.
+    squatter_index: HashMap<JobId, BTreeMap<JobId, u32>>,
+    /// Running total of idle reserved nodes across all holders.
+    reserved_idle_total: u32,
 }
 
 impl Cluster {
@@ -64,6 +97,9 @@ impl Cluster {
             free_list: (0..n).rev().map(NodeId).collect(),
             alloc: HashMap::new(),
             reserved_idle: HashMap::new(),
+            splits: HashMap::new(),
+            squatter_index: HashMap::new(),
+            reserved_idle_total: 0,
         }
     }
 
@@ -83,9 +119,9 @@ impl Cluster {
             .map_or(0, |v| v.len() as u32)
     }
 
-    /// Idle reserved nodes across all holders.
+    /// Idle reserved nodes across all holders. O(1).
     pub fn total_reserved_idle(&self) -> u32 {
-        self.reserved_idle.values().map(|v| v.len() as u32).sum()
+        self.reserved_idle_total
     }
 
     /// Number of nodes currently allocated to `job` (0 if not running).
@@ -108,8 +144,18 @@ impl Cluster {
     /// Split a running job's allocation into (plain busy, squatted) node
     /// counts. Squatted nodes return to their holder's reservation on
     /// release, so only the plain part becomes free — the scheduler's
-    /// shadow projection needs the distinction.
+    /// shadow projection needs the distinction. O(1): served from the
+    /// incrementally maintained counters (reference scan:
+    /// [`Cluster::split_of_scanned`]).
     pub fn split_of(&self, job: JobId) -> (u32, u32) {
+        let s = self.splits.get(&job).copied().unwrap_or_default();
+        (s.plain, s.squatted)
+    }
+
+    /// Reference implementation of [`Cluster::split_of`] by scanning the
+    /// job's allocation. Used by [`Cluster::check_invariants`] and the
+    /// property-test oracle; the scheduler hot path never calls it.
+    pub fn split_of_scanned(&self, job: JobId) -> (u32, u32) {
         let mut plain = 0;
         let mut squatted = 0;
         for id in self.nodes_of(job) {
@@ -123,8 +169,20 @@ impl Cluster {
     }
 
     /// Jobs backfilled onto `holder`'s reserved nodes, with the number of
-    /// reserved nodes each occupies.
+    /// reserved nodes each occupies, in job-id order. O(squatters): served
+    /// from the incrementally maintained index (reference scan:
+    /// [`Cluster::squatters_scanned`]).
     pub fn squatters(&self, holder: JobId) -> Vec<(JobId, u32)> {
+        self.squatter_index
+            .get(&holder)
+            .map(|m| m.iter().map(|(&j, &k)| (j, k)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Reference implementation of [`Cluster::squatters`] by scanning all
+    /// nodes. Used by [`Cluster::check_invariants`] and the property-test
+    /// oracle; the scheduler hot path never calls it.
+    pub fn squatters_scanned(&self, holder: JobId) -> Vec<(JobId, u32)> {
         let mut counts: HashMap<JobId, u32> = HashMap::new();
         for st in &self.nodes {
             if let NodeState::ReservedBusy { holder: h, job } = st {
@@ -136,6 +194,38 @@ impl Cluster {
         let mut v: Vec<_> = counts.into_iter().collect();
         v.sort_by_key(|(j, _)| *j);
         v
+    }
+
+    /// Record that `job` squats on `count` of `holder`'s reserved nodes.
+    fn note_squat(&mut self, holder: JobId, job: JobId, count: u32) {
+        if count > 0 {
+            *self
+                .squatter_index
+                .entry(holder)
+                .or_default()
+                .entry(job)
+                .or_default() += count;
+        }
+    }
+
+    /// Record that `job` vacated `count` of `holder`'s reserved nodes.
+    fn note_unsquat(&mut self, holder: JobId, job: JobId, count: u32) {
+        if count == 0 {
+            return;
+        }
+        let holder_map = self
+            .squatter_index
+            .get_mut(&holder)
+            .expect("unsquat of untracked holder");
+        let left = holder_map.get_mut(&job).expect("unsquat of untracked job");
+        debug_assert!(*left >= count, "unsquat exceeds tracked count");
+        *left -= count;
+        if *left == 0 {
+            holder_map.remove(&job);
+            if holder_map.is_empty() {
+                self.squatter_index.remove(&holder);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -157,6 +247,13 @@ impl Cluster {
             self.nodes[id.index()] = NodeState::Busy { job };
             nodes.push(id);
         }
+        self.splits.insert(
+            job,
+            Split {
+                plain: k,
+                squatted: 0,
+            },
+        );
         Some(self.alloc.entry(job).or_insert(nodes))
     }
 
@@ -177,6 +274,7 @@ impl Cluster {
                 match idle.pop() {
                     Some(id) => {
                         self.nodes[id.index()] = NodeState::Busy { job };
+                        self.reserved_idle_total -= 1;
                         nodes.push(id);
                     }
                     None => break,
@@ -191,11 +289,22 @@ impl Cluster {
             self.nodes[id.index()] = NodeState::Busy { job };
             nodes.push(id);
         }
+        self.splits.insert(
+            job,
+            Split {
+                plain: k,
+                squatted: 0,
+            },
+        );
         Some(self.alloc.entry(job).or_insert(nodes))
     }
 
     /// Idle reserved nodes whose holder satisfies `squat_allowed`.
+    /// O(active holders), with an O(1) exit when nothing is reserved.
     pub fn squattable_idle(&self, mut squat_allowed: impl FnMut(JobId) -> bool) -> u32 {
+        if self.reserved_idle_total == 0 {
+            return 0;
+        }
         self.reserved_idle
             .iter()
             .filter(|(h, _)| squat_allowed(**h))
@@ -248,6 +357,7 @@ impl Cluster {
                     match idle.pop() {
                         Some(id) => {
                             self.nodes[id.index()] = NodeState::ReservedBusy { holder: h, job };
+                            self.reserved_idle_total -= 1;
                             nodes.push(id);
                             taken += 1;
                         }
@@ -258,6 +368,7 @@ impl Cluster {
                     self.reserved_idle.remove(&h);
                 }
                 if taken > 0 {
+                    self.note_squat(h, job, taken);
                     squatted.push((h, taken));
                 }
                 if nodes.len() == k as usize {
@@ -266,6 +377,14 @@ impl Cluster {
             }
         }
         debug_assert_eq!(nodes.len(), k as usize);
+        let squatted_total: u32 = squatted.iter().map(|(_, k)| *k).sum();
+        self.splits.insert(
+            job,
+            Split {
+                plain: k - squatted_total,
+                squatted: squatted_total,
+            },
+        );
         self.alloc.insert(job, nodes);
         Some(squatted)
     }
@@ -274,6 +393,7 @@ impl Cluster {
     /// squatted nodes return to their holder's reservation.
     pub fn release(&mut self, job: JobId) -> ReleaseOutcome {
         let nodes = self.alloc.remove(&job).unwrap_or_default();
+        self.splits.remove(&job);
         let mut out = ReleaseOutcome::default();
         for id in nodes {
             match self.nodes[id.index()] {
@@ -287,6 +407,7 @@ impl Cluster {
                     debug_assert_eq!(j, job);
                     self.nodes[id.index()] = NodeState::Reserved { holder };
                     self.reserved_idle.entry(holder).or_default().push(id);
+                    self.reserved_idle_total += 1;
                     match out.to_reservations.iter_mut().find(|(h, _)| *h == holder) {
                         Some((_, k)) => *k += 1,
                         None => out.to_reservations.push((holder, 1)),
@@ -294,6 +415,9 @@ impl Cluster {
                 }
                 ref st => unreachable!("released node in state {st:?}"),
             }
+        }
+        for &(holder, k) in &out.to_reservations {
+            self.note_unsquat(holder, job, k);
         }
         out
     }
@@ -315,8 +439,10 @@ impl Cluster {
             _ => 0,
         });
         let mut out = ReleaseOutcome::default();
-        for _ in 0..k {
-            let id = nodes.remove(0);
+        // One O(n) drain, not k front-shifts; yields the same nodes in the
+        // same order, so the free-list/reservation push order (and with it
+        // bitwise determinism) is unchanged.
+        for id in nodes.drain(..k as usize) {
             match self.nodes[id.index()] {
                 NodeState::Busy { .. } => {
                     self.nodes[id.index()] = NodeState::Free;
@@ -326,6 +452,7 @@ impl Cluster {
                 NodeState::ReservedBusy { holder, .. } => {
                     self.nodes[id.index()] = NodeState::Reserved { holder };
                     self.reserved_idle.entry(holder).or_default().push(id);
+                    self.reserved_idle_total += 1;
                     match out.to_reservations.iter_mut().find(|(h, _)| *h == holder) {
                         Some((_, c)) => *c += 1,
                         None => out.to_reservations.push((holder, 1)),
@@ -333,6 +460,14 @@ impl Cluster {
                 }
                 ref st => unreachable!("shrunk node in state {st:?}"),
             }
+        }
+        let split = self.splits.get_mut(&job).expect("running job has a split");
+        split.plain -= out.to_free;
+        for &(_, c) in &out.to_reservations {
+            split.squatted -= c;
+        }
+        for &(holder, c) in &out.to_reservations {
+            self.note_unsquat(holder, job, c);
         }
         out
     }
@@ -347,6 +482,10 @@ impl Cluster {
             self.nodes[id.index()] = NodeState::Busy { job };
             self.alloc.get_mut(&job).expect("checked").push(id);
         }
+        self.splits
+            .get_mut(&job)
+            .expect("running job has a split")
+            .plain += take;
         take
     }
 
@@ -367,6 +506,7 @@ impl Cluster {
             self.nodes[id.index()] = NodeState::Reserved { holder };
             idle.push(id);
         }
+        self.reserved_idle_total += take;
         take
     }
 
@@ -403,11 +543,22 @@ impl Cluster {
                 self.free_list.push(id);
                 freed += 1;
             }
+            self.reserved_idle_total -= freed;
         }
-        for st in self.nodes.iter_mut() {
-            if let NodeState::ReservedBusy { holder: h, job } = *st {
-                if h == holder {
-                    *st = NodeState::Busy { job };
+        // Squatters keep running, now on plain `Busy` nodes. The squatter
+        // index names exactly the affected jobs, so only their allocations
+        // are walked — not the whole machine.
+        if let Some(squatters) = self.squatter_index.remove(&holder) {
+            for (&sq, &count) in &squatters {
+                let split = self.splits.get_mut(&sq).expect("squatter has a split");
+                split.plain += count;
+                split.squatted -= count;
+                for id in self.alloc.get(&sq).expect("squatter is allocated") {
+                    if let NodeState::ReservedBusy { holder: h, job } = self.nodes[id.index()] {
+                        if h == holder {
+                            self.nodes[id.index()] = NodeState::Busy { job };
+                        }
+                    }
                 }
             }
         }
@@ -419,7 +570,10 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Full-scan consistency check; O(nodes + jobs). Used by tests and the
-    /// simulator's debug assertions.
+    /// simulator's debug assertions, and by `paranoid_checks` mode to
+    /// cross-validate the incremental `(plain, squatted)` counters, the
+    /// squatter index, and the reserved-idle total against the authoritative
+    /// per-node states.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut busy = 0u32;
         let mut reserved = 0u32;
@@ -472,6 +626,45 @@ impl Cluster {
                     return Err(format!("idle-reserved node {id} not Reserved for {h}"));
                 }
             }
+        }
+        // Incremental accounting vs. full scan.
+        if self.reserved_idle_total != reserved {
+            return Err(format!(
+                "reserved_idle_total counter {} != scanned {reserved}",
+                self.reserved_idle_total
+            ));
+        }
+        if self.splits.len() != self.alloc.len() {
+            return Err(format!(
+                "splits tracks {} jobs, alloc {}",
+                self.splits.len(),
+                self.alloc.len()
+            ));
+        }
+        for (&job, &split) in &self.splits {
+            let (plain, squatted) = self.split_of_scanned(job);
+            if (split.plain, split.squatted) != (plain, squatted) {
+                return Err(format!(
+                    "split counters for {job}: ({}, {}) != scanned ({plain}, {squatted})",
+                    split.plain, split.squatted
+                ));
+            }
+        }
+        let mut scanned_squats: HashMap<JobId, BTreeMap<JobId, u32>> = HashMap::new();
+        for st in &self.nodes {
+            if let NodeState::ReservedBusy { holder, job } = st {
+                *scanned_squats
+                    .entry(*holder)
+                    .or_default()
+                    .entry(*job)
+                    .or_default() += 1;
+            }
+        }
+        if self.squatter_index != scanned_squats {
+            return Err(format!(
+                "squatter index {:?} != scanned {scanned_squats:?}",
+                self.squatter_index
+            ));
         }
         Ok(())
     }

@@ -38,6 +38,11 @@ enum Op {
     ReleaseReservation {
         holder: u64,
     },
+    TransferReserved {
+        from: u64,
+        to: u64,
+        k: u32,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -54,6 +59,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0..24u64, 1..8u32).prop_map(|(job, k)| Op::Expand { job, k }),
         (24..32u64, 1..16u32).prop_map(|(holder, k)| Op::Reserve { holder, k }),
         (24..32u64).prop_map(|holder| Op::ReleaseReservation { holder }),
+        (24..32u64, 24..32u64, 1..16u32).prop_map(|(from, to, k)| Op::TransferReserved {
+            from,
+            to,
+            k
+        }),
     ]
 }
 
@@ -97,7 +107,31 @@ fn apply(c: &mut Cluster, op: &Op) {
         Op::ReleaseReservation { holder } => {
             let _ = c.release_reservation(JobId(holder));
         }
+        Op::TransferReserved { from, to, k } => {
+            let _ = c.transfer_reserved(JobId(from), JobId(to), k);
+        }
     }
+}
+
+/// Oracle check: the incremental `(plain, squatted)` counters, the squatter
+/// index, and the reserved-idle total must exactly match what a full node
+/// scan reports, for every job and holder id the op space can produce.
+fn assert_matches_scan_oracle(c: &Cluster) {
+    let mut reserved_idle_scanned = 0;
+    for id in (0..64).map(JobId) {
+        assert_eq!(
+            c.split_of(id),
+            c.split_of_scanned(id),
+            "split counters diverged for {id}"
+        );
+        assert_eq!(
+            c.squatters(id),
+            c.squatters_scanned(id),
+            "squatter index diverged for holder {id}"
+        );
+        reserved_idle_scanned += c.reserved_idle_count(id);
+    }
+    assert_eq!(c.total_reserved_idle(), reserved_idle_scanned);
 }
 
 proptest! {
@@ -113,6 +147,33 @@ proptest! {
             apply(&mut c, op);
             prop_assert_eq!(c.check_invariants(), Ok(()));
         }
+    }
+
+    /// The incremental accounting is exact: after every operation of an
+    /// arbitrary allocate/release/reserve/backfill/shrink/expand/transfer
+    /// sequence, `split_of`, `squatters`, and `total_reserved_idle` agree
+    /// with a full-node-scan oracle.
+    #[test]
+    fn incremental_counters_match_scan_oracle(
+        n in 8..64u32,
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut c = Cluster::new(n);
+        assert_matches_scan_oracle(&c);
+        for op in &ops {
+            apply(&mut c, op);
+            assert_matches_scan_oracle(&c);
+        }
+        // And after tearing everything down.
+        let running: Vec<JobId> = c.running_jobs().collect();
+        for job in running {
+            c.release(job);
+        }
+        for holder in (0..64).map(JobId) {
+            c.release_reservation(holder);
+        }
+        assert_matches_scan_oracle(&c);
+        prop_assert_eq!(c.total_reserved_idle(), 0);
     }
 
     #[test]

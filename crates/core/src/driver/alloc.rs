@@ -29,18 +29,35 @@ pub(super) struct Claim {
     pub(super) since: SimTime,
 }
 
+impl Claim {
+    /// Collection priority, total over distinct on-demand jobs.
+    #[inline]
+    pub(super) fn key(&self) -> (u8, SimTime, JobId) {
+        (self.phase, self.since, self.od)
+    }
+}
+
 impl SimCore<'_> {
     // ------------------------------------------------------------------
     // Node routing
     // ------------------------------------------------------------------
 
+    /// Register a collector, keeping `claims` sorted by `(phase, since,
+    /// od)` so [`SimCore::offer_free_nodes`] never re-sorts. Claims are
+    /// immutable after insertion, so the order is maintained for free.
+    pub(super) fn insert_claim(&mut self, c: Claim) {
+        let at = self.claims.partition_point(|x| x.key() < c.key());
+        self.claims.insert(at, c);
+    }
+
     /// Feed newly free nodes to collectors: arrived on-demand jobs first
-    /// (by arrival), then notice-phase collectors (by notice time).
+    /// (by arrival), then notice-phase collectors (by notice time). The
+    /// claims list is kept in that order by [`SimCore::insert_claim`].
     pub(super) fn offer_free_nodes(&mut self, _now: SimTime) {
         if self.claims.is_empty() {
             return;
         }
-        self.claims.sort_by_key(|c| (c.phase, c.since, c.od));
+        debug_assert!(self.claims.windows(2).all(|w| w[0].key() <= w[1].key()));
         let mut i = 0;
         while i < self.claims.len() {
             if self.cluster.free_count() == 0 {
@@ -114,13 +131,13 @@ impl SimCore<'_> {
             return;
         }
         self.cluster.reserve(j, need.min(self.cluster.free_count()));
-        self.noticed.push(j);
+        self.noticed.insert(j);
         if self.cfg.backfill_on_reserved {
-            self.squattable.push(j);
+            self.squattable.insert(j);
         }
         let shortfall = need.saturating_sub(self.cluster.reserved_idle_count(j));
         if shortfall > 0 {
-            self.claims.push(Claim {
+            self.insert_claim(Claim {
                 od: j,
                 target: need,
                 phase: 1,
@@ -128,10 +145,15 @@ impl SimCore<'_> {
             });
             // The candidate snapshot costs O(running jobs); skip it for
             // hooks that never plan, so CUA decision latency stays free of
-            // CUP-only estimation work.
+            // CUP-only estimation work. Snapshots build in the recycled
+            // scratch buffers — notices are frequent enough under CUP that
+            // per-notice allocation shows up in replay throughput.
             if self.hooks.plans_predictions() {
                 let predicted = notice.predicted_arrival;
-                let candidates = self.prediction_candidates(predicted, now);
+                let mut ids = std::mem::take(&mut self.scratch.victim_ids);
+                let mut candidates = std::mem::take(&mut self.scratch.candidates);
+                self.fill_running_victim_ids(&mut ids);
+                self.fill_prediction_candidates(&ids, &mut candidates, predicted, now);
                 let plan = self.hooks.plan_for_prediction(&PredictionView {
                     od: j,
                     shortfall,
@@ -139,6 +161,10 @@ impl SimCore<'_> {
                     now,
                     candidates: &candidates,
                 });
+                ids.clear();
+                self.scratch.victim_ids = ids;
+                candidates.clear();
+                self.scratch.candidates = candidates;
                 let mut evs = Vec::new();
                 for (victim, at) in plan.planned_preemptions {
                     let epoch = self.st(victim).epoch;
@@ -167,47 +193,52 @@ impl SimCore<'_> {
     }
 
     /// Running jobs eligible as preemption victims (never on-demand jobs,
-    /// never draining jobs).
-    pub(super) fn running_victim_ids(&self) -> Vec<JobId> {
-        let mut v: Vec<JobId> = self
-            .cluster
-            .running_jobs()
-            .filter(|&j| self.spec(j).kind != JobKind::OnDemand)
-            .filter(|&j| self.st(j).status == Status::Running)
-            .collect();
-        v.sort();
-        v
+    /// never draining jobs), in job-id order, appended to `out` (a scratch
+    /// buffer recycled across decisions).
+    pub(super) fn fill_running_victim_ids(&self, out: &mut Vec<JobId>) {
+        out.extend(
+            self.cluster
+                .running_jobs()
+                .filter(|&j| self.spec(j).kind != JobKind::OnDemand)
+                .filter(|&j| self.st(j).status == Status::Running),
+        );
+        out.sort();
     }
 
-    /// Candidate snapshot for [`super::hooks::MechanismHooks::plan_for_prediction`].
-    fn prediction_candidates(&self, predicted: SimTime, now: SimTime) -> Vec<CupCandidate> {
-        self.running_victim_ids()
-            .into_iter()
-            .map(|v| {
-                let run = self.st(v).run.as_ref().expect("running");
-                let cheap = match self.spec(v).kind {
-                    JobKind::Malleable => {
-                        let at = predicted.saturating_sub(self.cfg.malleable_warning);
-                        (at >= now).then_some(at)
-                    }
-                    _ => next_checkpoint_completion(run, now).filter(|t| *t >= now),
-                };
-                CupCandidate {
-                    id: v,
-                    nodes: run.size,
-                    expected_end: self.expected_end(v, now),
-                    overhead_ns: self.preemption_overhead(v, now),
-                    cheap_preempt_at: cheap,
+    /// Candidate snapshot for
+    /// [`super::hooks::MechanismHooks::plan_for_prediction`], appended to
+    /// `out` (a scratch buffer recycled across decisions).
+    fn fill_prediction_candidates(
+        &self,
+        ids: &[JobId],
+        out: &mut Vec<CupCandidate>,
+        predicted: SimTime,
+        now: SimTime,
+    ) {
+        out.extend(ids.iter().map(|&v| {
+            let run = self.st(v).run.as_ref().expect("running");
+            let cheap = match self.spec(v).kind {
+                JobKind::Malleable => {
+                    let at = predicted.saturating_sub(self.cfg.malleable_warning);
+                    (at >= now).then_some(at)
                 }
-            })
-            .collect()
+                _ => next_checkpoint_completion(run, now).filter(|t| *t >= now),
+            };
+            CupCandidate {
+                id: v,
+                nodes: run.size,
+                expected_end: self.expected_end(v, now),
+                overhead_ns: self.preemption_overhead(v, now),
+                cheap_preempt_at: cheap,
+            }
+        }));
     }
 
     /// Shrink snapshot for [`super::hooks::MechanismHooks::on_arrival`]:
     /// running malleable jobs, with minimums raised so that only *plain*
     /// nodes — the ones that actually reach the arriving job through the
     /// free pool — count as supply. `ids` is the shared
-    /// [`Self::running_victim_ids`] scan (computed once per arrival).
+    /// [`Self::fill_running_victim_ids`] scan (computed once per arrival).
     fn arrival_shrinkables(&self, ids: &[JobId]) -> Vec<ShrinkInfo> {
         ids.iter()
             .copied()
@@ -261,8 +292,8 @@ impl SimCore<'_> {
             }
         }
         self.remove_claim(j);
-        self.squattable.retain(|&x| x != j);
-        self.noticed.retain(|&x| x != j);
+        self.squattable.remove(&j);
+        self.noticed.remove(&j);
 
         // Evict squatters from this job's reserved nodes ("once the
         // on-demand job arrives, all these backfilled jobs have to be
@@ -295,7 +326,7 @@ impl SimCore<'_> {
         // recent notice first so the earliest notice keeps its collection
         // priority (§III-B1).
         if have < need && !self.noticed.is_empty() {
-            let mut holders: Vec<JobId> = self.noticed.clone();
+            let mut holders: Vec<JobId> = self.noticed.iter().copied().collect();
             holders.sort_by_key(|&h| {
                 let n = self.spec(h).notice.expect("noticed job has a notice");
                 std::cmp::Reverse((n.notice_time, h))
@@ -316,9 +347,12 @@ impl SimCore<'_> {
             // (one per on-demand arrival), so handing every hook a uniform
             // view is worth the one extra snapshot over the old
             // strategy-specialized paths.
-            let ids = self.running_victim_ids();
+            let mut ids = std::mem::take(&mut self.scratch.victim_ids);
+            self.fill_running_victim_ids(&mut ids);
             let shrinkable = self.arrival_shrinkables(&ids);
             let victims = self.arrival_victims(&ids, now);
+            ids.clear();
+            self.scratch.victim_ids = ids;
             let plan = self.hooks.on_arrival(&ArrivalView {
                 od: j,
                 need_extra,
@@ -330,7 +364,7 @@ impl SimCore<'_> {
         }
 
         // Register as an arrived collector and try to launch.
-        self.claims.push(Claim {
+        self.insert_claim(Claim {
             od: j,
             target: need,
             phase: 0,
@@ -338,7 +372,7 @@ impl SimCore<'_> {
         });
         self.st_mut(j).status = Status::Waiting;
         self.queue.push(j);
-        self.od_front.push(j);
+        self.od_front.insert(j);
         self.offer_free_nodes(now);
         self.request_pass(now, q);
         if self.cfg.measure_decisions {
@@ -447,7 +481,7 @@ mod tests {
             assert!(core.cluster.allocate(JobId(filler_id), busy).is_some());
         }
         for &(id, target, phase, since) in claims {
-            core.claims.push(Claim {
+            core.insert_claim(Claim {
                 od: JobId(id),
                 target,
                 phase,

@@ -19,7 +19,7 @@ use hws_cluster::{Cluster, LeaseLedger};
 use hws_metrics::Recorder;
 use hws_sim::{EventId, EventQueue, SimDuration, SimTime};
 use hws_workload::{JobId, JobKind, JobSpec, Trace};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// The simulation model (per-run state).
@@ -33,20 +33,41 @@ pub struct SimCore<'t> {
     /// Waiting jobs (unordered; sorted per pass by the queue policy).
     pub(super) queue: Vec<JobId>,
     /// Arrived on-demand jobs that could not start instantly ("front of
-    /// the queue", §III-B2).
-    pub(super) od_front: Vec<JobId>,
+    /// the queue", §III-B2). Index set: O(log n) membership tests from the
+    /// queue-key computation, no linear `contains`/`retain` per event.
+    pub(super) od_front: BTreeSet<JobId>,
+    /// Node collectors, kept sorted by `(phase, since, od)` on insert so
+    /// [`SimCore::offer_free_nodes`] never re-sorts (see
+    /// [`SimCore::insert_claim`]).
     pub(super) claims: Vec<Claim>,
     pub(super) leases: LeaseLedger,
     /// On-demand holders whose reservations may host backfill squatters
-    /// (notice-phase reservations only).
-    pub(super) squattable: Vec<JobId>,
+    /// (notice-phase reservations only). Index set: membership is probed
+    /// once per reservation holder inside `squattable_idle` filters.
+    pub(super) squattable: BTreeSet<JobId>,
     /// On-demand jobs in the notice phase (announced, not yet arrived).
-    pub(super) noticed: Vec<JobId>,
+    pub(super) noticed: BTreeSet<JobId>,
     pub(super) timeout_ev: HashMap<JobId, EventId>,
     pub(super) cup_plans: HashMap<JobId, Vec<EventId>>,
     pub(super) pass_pending: bool,
+    /// Reusable hot-path buffers (see [`super::pass`]).
+    pub(super) scratch: Scratch,
     pub rec: Recorder,
     pub timeline: Timeline,
+}
+
+/// Scratch buffers recycled across scheduling passes so the hot path does
+/// not allocate per event: the ordered queue snapshot, the shadow release
+/// profile, the started-set of a pass, and the victim/candidate snapshots
+/// of notice handling. Callers `mem::take` a buffer, use it, clear it, and
+/// put it back (the buffers are empty between passes).
+#[derive(Debug, Default)]
+pub(super) struct Scratch {
+    pub(super) ordered: Vec<JobId>,
+    pub(super) releases: Vec<(SimTime, u32)>,
+    pub(super) started: Vec<JobId>,
+    pub(super) victim_ids: Vec<JobId>,
+    pub(super) candidates: Vec<crate::mechanism::CupCandidate>,
 }
 
 impl<'t> SimCore<'t> {
@@ -66,14 +87,15 @@ impl<'t> SimCore<'t> {
             idx_of,
             jobs,
             queue: Vec::new(),
-            od_front: Vec::new(),
+            od_front: BTreeSet::new(),
             claims: Vec::new(),
             leases: LeaseLedger::new(),
-            squattable: Vec::new(),
-            noticed: Vec::new(),
+            squattable: BTreeSet::new(),
+            noticed: BTreeSet::new(),
             timeout_ev: HashMap::new(),
             cup_plans: HashMap::new(),
             pass_pending: false,
+            scratch: Scratch::default(),
             timeline: Timeline::new(),
         }
     }
@@ -200,7 +222,7 @@ impl<'t> SimCore<'t> {
         let ok = if !backfill || own_reserved > 0 || !self.cfg.backfill_on_reserved {
             self.cluster.allocate_with_reserved(j, size).is_some()
         } else {
-            let squattable = self.squattable.clone();
+            let squattable = &self.squattable;
             self.cluster
                 .allocate_backfill(j, size, |h| squattable.contains(&h))
                 .is_some()
@@ -354,10 +376,8 @@ impl<'t> SimCore<'t> {
                 self.queue.push(j);
                 // A failed on-demand job re-enters at the queue front.
                 if spec.kind == JobKind::OnDemand {
-                    if !self.od_front.contains(&j) {
-                        self.od_front.push(j);
-                    }
-                    self.claims.push(Claim {
+                    self.od_front.insert(j);
+                    self.insert_claim(Claim {
                         od: j,
                         target: spec.size,
                         phase: 0,
@@ -401,7 +421,7 @@ impl<'t> SimCore<'t> {
         self.leases.forget_lender(j);
         if spec_kind == JobKind::OnDemand {
             self.remove_claim(j);
-            self.od_front.retain(|&x| x != j);
+            self.od_front.remove(&j);
             self.settle_leases(j, now, q);
             self.cluster.release_reservation(j);
         }

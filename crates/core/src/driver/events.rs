@@ -89,8 +89,8 @@ impl Simulation for SimCore<'_> {
                         }
                     }
                     self.remove_claim(j);
-                    self.squattable.retain(|&x| x != j);
-                    self.noticed.retain(|&x| x != j);
+                    self.squattable.remove(&j);
+                    self.noticed.remove(&j);
                     self.cluster.release_reservation(j);
                     self.offer_free_nodes(now);
                     self.request_pass(now, q);

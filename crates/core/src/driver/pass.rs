@@ -15,30 +15,27 @@ impl SimCore<'_> {
         if self.queue.is_empty() {
             return;
         }
-        // Order the queue.
-        let mut ordered: Vec<JobId> = self
-            .queue
-            .iter()
-            .copied()
-            .filter(|j| self.st(*j).status == Status::Waiting)
-            .collect();
-        ordered.sort_by(|&a, &b| {
-            let ka = queue_key(
+        // Order the queue. Keys are computed once per job
+        // (`sort_by_cached_key`), not inside the comparator — with the
+        // `od_front` membership probe in the key, a comparator-side
+        // computation would cost O(n log n) key evaluations per pass.
+        let mut ordered = std::mem::take(&mut self.scratch.ordered);
+        ordered.extend(
+            self.queue
+                .iter()
+                .copied()
+                .filter(|j| self.st(*j).status == Status::Waiting),
+        );
+        ordered.sort_by_cached_key(|&j| {
+            queue_key(
                 self.cfg.policy,
-                self.spec(a),
-                self.od_front.contains(&a),
+                self.spec(j),
+                self.od_front.contains(&j),
                 now,
-            );
-            let kb = queue_key(
-                self.cfg.policy,
-                self.spec(b),
-                self.od_front.contains(&b),
-                now,
-            );
-            ka.cmp(&kb)
+            )
         });
 
-        let mut started: Vec<JobId> = Vec::new();
+        let mut started = std::mem::take(&mut self.scratch.started);
         let mut head: Option<JobId> = None;
         let mut pos = 0;
         // Phase A: start jobs strictly in order while they fit. A job that
@@ -64,7 +61,7 @@ impl SimCore<'_> {
                 let size = self.choose_start_size(j, usable);
                 if self.start_job(j, size, backfill, now, q) {
                     if self.spec(j).kind == JobKind::OnDemand {
-                        self.od_front.retain(|&x| x != j);
+                        self.od_front.remove(&j);
                         self.remove_claim(j);
                     }
                     started.push(j);
@@ -101,7 +98,7 @@ impl SimCore<'_> {
                     let size = self.choose_start_size(j, usable);
                     if self.start_job(j, size, false, now, q) {
                         if self.spec(j).kind == JobKind::OnDemand {
-                            self.od_front.retain(|&x| x != j);
+                            self.od_front.remove(&j);
                             self.remove_claim(j);
                         }
                         started.push(j);
@@ -122,7 +119,7 @@ impl SimCore<'_> {
                     if let Some(size) = self.backfill_size(j, shadow, now) {
                         if self.start_job(j, size, true, now, q) {
                             if self.spec(j).kind == JobKind::OnDemand {
-                                self.od_front.retain(|&x| x != j);
+                                self.od_front.remove(&j);
                                 self.remove_claim(j);
                             }
                             started.push(j);
@@ -132,9 +129,13 @@ impl SimCore<'_> {
             }
         }
         if !started.is_empty() {
-            let done: std::collections::HashSet<JobId> = started.into_iter().collect();
+            let done: std::collections::HashSet<JobId> = started.iter().copied().collect();
             self.queue.retain(|j| !done.contains(j));
         }
+        started.clear();
+        self.scratch.started = started;
+        ordered.clear();
+        self.scratch.ordered = ordered;
     }
 
     /// Minimum nodes `j` needs to start (its min size for malleable jobs in
@@ -160,9 +161,10 @@ impl SimCore<'_> {
         }
     }
 
-    /// Shadow reservation for the blocked head job.
-    pub(super) fn head_shadow(&self, head: JobId, now: SimTime) -> Shadow {
-        let mut releases: Vec<(SimTime, u32)> = Vec::new();
+    /// Shadow reservation for the blocked head job. Reuses the scratch
+    /// release buffer; per-job split counts are O(1) cluster lookups.
+    pub(super) fn head_shadow(&mut self, head: JobId, now: SimTime) -> Shadow {
+        let mut releases = std::mem::take(&mut self.scratch.releases);
         for v in self.cluster.running_jobs() {
             let st = self.st(v);
             if st.status != Status::Running && st.status != Status::Draining {
@@ -176,7 +178,10 @@ impl SimCore<'_> {
             }
         }
         let avail = self.cluster.free_count() + self.cluster.reserved_idle_count(head);
-        compute_shadow(&mut releases, avail, self.start_need(head))
+        let shadow = compute_shadow(&mut releases, avail, self.start_need(head));
+        releases.clear();
+        self.scratch.releases = releases;
+        shadow
     }
 
     /// Pick a backfill size for `j` under `shadow`, or None when no size

@@ -43,9 +43,19 @@ impl<E> PartialEq for Entry<E> {
 impl<E> Eq for Entry<E> {}
 
 /// Future-event list with stable ordering and lazy cancellation.
+///
+/// Two bookkeeping guarantees keep long replays bounded:
+///
+/// * `cancelled ⊆ pending` — cancelling an already-delivered (or unknown)
+///   id is a true no-op, so stale cancels can never leak tombstones;
+/// * when cancelled tombstones outnumber live entries, the heap is
+///   compacted in O(heap) — epoch-bumped Finish/Kill events accumulating
+///   under heavy preemption can never dominate the heap.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     cancelled: HashSet<EventId>,
+    /// Ids still in the heap (scheduled, not yet delivered or reclaimed).
+    pending: HashSet<EventId>,
     next_seq: u64,
     /// High-water mark of delivered time; scheduling before it is a logic
     /// error caught in debug builds.
@@ -64,6 +74,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
+            pending: HashSet::new(),
             next_seq: 0,
             watermark: SimTime::ZERO,
             n_cancelled_popped: 0,
@@ -89,22 +100,52 @@ impl<E> EventQueue<E> {
             id,
             event,
         });
+        self.pending.insert(id);
         self.next_seq += 1;
         id
     }
 
-    /// Cancel a previously scheduled event. Cancelling an already-delivered
-    /// or already-cancelled event is a no-op (returns `false`).
+    /// Cancel a previously scheduled event. Cancelling an already-delivered,
+    /// already-cancelled, or unknown event is a true no-op (returns
+    /// `false`) — no tombstone is recorded, so stale cancels cannot grow
+    /// the cancelled set on long replays.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        if !self.pending.contains(&id) || !self.cancelled.insert(id) {
             return false;
         }
-        self.cancelled.insert(id)
+        // Tombstone compaction: when cancelled entries outnumber the live
+        // ones, rebuild the heap without them. O(heap), amortized O(1) per
+        // cancel; keeps epoch-bumped Finish/Kill tombstones from dominating
+        // the heap under heavy preemption.
+        if self.cancelled.len() * 2 > self.heap.len() {
+            self.compact();
+        }
+        true
+    }
+
+    /// Drop every cancelled entry from the heap in one pass.
+    fn compact(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let live: Vec<Entry<E>> = entries
+            .into_iter()
+            .filter(|e| {
+                if self.cancelled.remove(&e.id) {
+                    self.pending.remove(&e.id);
+                    self.n_cancelled_popped += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        debug_assert!(self.cancelled.is_empty());
+        self.heap = BinaryHeap::from(live);
     }
 
     /// Pop the next live event, skipping cancelled entries.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
         while let Some(entry) = self.heap.pop() {
+            self.pending.remove(&entry.id);
             if self.cancelled.remove(&entry.id) {
                 self.n_cancelled_popped += 1;
                 continue;
@@ -121,6 +162,7 @@ impl<E> EventQueue<E> {
             let head = self.heap.peek()?;
             if self.cancelled.contains(&head.id) {
                 let e = self.heap.pop().expect("peeked entry exists");
+                self.pending.remove(&e.id);
                 self.cancelled.remove(&e.id);
                 self.n_cancelled_popped += 1;
                 continue;
@@ -149,9 +191,15 @@ impl<E> EventQueue<E> {
         self.next_seq
     }
 
-    /// Cancelled entries that have been skipped during pops so far.
+    /// Cancelled entries reclaimed so far (skipped during pops or dropped
+    /// by tombstone compaction).
     pub fn cancelled_skipped(&self) -> u64 {
         self.n_cancelled_popped
+    }
+
+    /// Cancelled entries still buried in the heap (not yet reclaimed).
+    pub fn cancelled_pending(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// The delivery high-water mark (time of the most recent pop).
@@ -260,5 +308,59 @@ mod tests {
         let a = q.schedule(t(1), ());
         q.cancel(a);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_pop_leaks_no_tombstone() {
+        // Regression: cancelling an already-delivered event used to insert
+        // its id into `cancelled` with no heap entry left to reclaim it,
+        // growing the set unboundedly on long replays.
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("a"));
+        assert!(!q.cancel(a), "stale cancel must be a no-op");
+        assert_eq!(q.cancelled_pending(), 0, "no tombstone for delivered id");
+        // Repeated stale cancels still leak nothing.
+        for _ in 0..100 {
+            q.cancel(a);
+        }
+        assert_eq!(q.cancelled_pending(), 0);
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("b"));
+        assert!(!q.cancel(b));
+        assert_eq!(q.cancelled_pending(), 0);
+    }
+
+    #[test]
+    fn compaction_bounds_heap_under_cancel_heavy_workload() {
+        // Epoch-bump churn: most scheduled events are cancelled before
+        // delivery. Compaction must keep the heap from filling up with
+        // tombstones: whenever cancelled entries outnumber live ones the
+        // heap is rebuilt, so `len_upper_bound` stays within 2x the live
+        // count.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..128).map(|i| q.schedule(t(1 + i), i)).collect();
+        for id in &ids[..100] {
+            assert!(q.cancel(*id));
+            assert!(
+                q.cancelled_pending() * 2 <= q.len_upper_bound(),
+                "tombstones exceed half the heap"
+            );
+        }
+        assert_eq!(q.live_len(), 28);
+        assert!(
+            q.len_upper_bound() <= 2 * q.live_len(),
+            "heap {} not compacted (live {})",
+            q.len_upper_bound(),
+            q.live_len()
+        );
+        // Delivery order and content are unaffected by compaction.
+        let survivors: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(survivors, (100..128).collect::<Vec<_>>());
+        assert_eq!(q.cancelled_pending(), 0);
+        // Conservation: every scheduled event was delivered or reclaimed.
+        assert_eq!(q.scheduled_total(), 128);
+        assert_eq!(q.cancelled_skipped(), 100);
     }
 }
