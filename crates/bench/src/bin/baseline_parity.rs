@@ -1,0 +1,163 @@
+//! **Baseline parity gate** — diffs freshly regenerated `BENCH_*.json`
+//! files against the committed baselines at the workspace root, failing
+//! loudly (with the regeneration recipe) on any drift.
+//!
+//! The CI `baseline-parity` job re-runs `swf_replay`, `throughput`, and
+//! `federated` at quick scale with the baseline seed count, pointing their
+//! `HWS_*_JSON` overrides at a scratch directory, then invokes this binary
+//! with that directory:
+//!
+//! ```text
+//! HWS_SCALE=quick HWS_SEEDS=10 HWS_SWF_REPLAY_JSON=regen/BENCH_swf_replay.json \
+//!     cargo run --release -p hws-bench --bin swf_replay
+//! # ... same for throughput and federated ...
+//! cargo run --release -p hws-bench --bin baseline_parity -- regen
+//! ```
+//!
+//! Comparison rules per file:
+//!
+//! * `BENCH_swf_replay.json`, `BENCH_federated.json` — byte-for-byte:
+//!   every recorded field is a deterministic simulation output.
+//! * `BENCH_simulator_throughput.json` — field-wise on the deterministic
+//!   columns (`source`, `mechanism`, `jobs`, `seeds`,
+//!   `metrics_fingerprint`, `avg_turnaround_h`, `utilization`); the
+//!   wall-clock columns legitimately vary between machines.
+//!
+//! `BENCH_decision_latency.json` is pure wall-clock and is *not* gated.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+/// Deterministic columns of the throughput baseline.
+const THROUGHPUT_KEYS: [&str; 7] = [
+    "source",
+    "mechanism",
+    "jobs",
+    "seeds",
+    "metrics_fingerprint",
+    "avg_turnaround_h",
+    "utilization",
+];
+
+fn main() {
+    let regen_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("regen"));
+    let root = workspace_root();
+    let mut failures = Vec::new();
+
+    for file in ["BENCH_swf_replay.json", "BENCH_federated.json"] {
+        if let Err(e) = compare_bytes(&root.join(file), &regen_dir.join(file)) {
+            failures.push((file, e));
+        }
+    }
+    if let Err(e) = compare_throughput(
+        &root.join("BENCH_simulator_throughput.json"),
+        &regen_dir.join("BENCH_simulator_throughput.json"),
+    ) {
+        failures.push(("BENCH_simulator_throughput.json", e));
+    }
+
+    if failures.is_empty() {
+        println!("baseline-parity: all committed BENCH_*.json baselines reproduced");
+        return;
+    }
+    for (file, why) in &failures {
+        eprintln!("baseline-parity FAILED for {file}:\n{why}\n");
+    }
+    eprintln!(
+        "The committed baselines no longer match what the simulator produces.\n\
+         If the drift is *intended* (a deliberate behavioral change), regenerate and commit:\n\
+         \n\
+         \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin swf_replay\n\
+         \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin throughput\n\
+         \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin federated\n\
+         \n\
+         (each binary rewrites its BENCH_*.json at the workspace root), and explain the\n\
+         metric movement in the PR description. If the drift is *unintended*, the change\n\
+         broke determinism or scheduling behavior — fix it instead."
+    );
+    exit(1);
+}
+
+/// Workspace root, next to the committed baselines.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+fn compare_bytes(committed: &Path, regenerated: &Path) -> Result<(), String> {
+    let a = read(committed)?;
+    let b = read(regenerated)?;
+    if a == b {
+        return Ok(());
+    }
+    // Point at the first differing row to make the failure actionable.
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return Err(format!(
+                "first drift at line {}:\n  committed:   {la}\n  regenerated: {lb}",
+                i + 1
+            ));
+        }
+    }
+    Err(format!(
+        "row count drifted: committed {} lines, regenerated {} lines",
+        a.lines().count(),
+        b.lines().count()
+    ))
+}
+
+fn compare_throughput(committed: &Path, regenerated: &Path) -> Result<(), String> {
+    let committed_json = read(committed)?;
+    let regenerated_json = read(regenerated)?;
+    let a = rows(&committed_json);
+    let b = rows(&regenerated_json);
+    if a.len() != b.len() {
+        return Err(format!(
+            "row count drifted: committed {}, regenerated {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
+        for key in THROUGHPUT_KEYS {
+            let va = field(ra, key);
+            let vb = field(rb, key);
+            if va != vb {
+                return Err(format!(
+                    "row {i}: {key} drifted\n  committed:   {}\n  regenerated: {}",
+                    va.unwrap_or("<missing>"),
+                    vb.unwrap_or("<missing>")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The one-object-per-line rows our own JSON writers emit.
+fn rows(json: &str) -> Vec<&str> {
+    json.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .collect()
+}
+
+/// Extract `"key": value` from a single-line JSON object (our writers emit
+/// flat rows; no nesting, no escaped quotes in values).
+fn field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = row.find(&pat)? + pat.len();
+    let rest = &row[start..];
+    let end = if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.find('"')? + 2
+    } else {
+        rest.find([',', '}'])?
+    };
+    Some(&rest[..end])
+}

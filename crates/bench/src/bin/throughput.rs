@@ -26,7 +26,7 @@
 //! HWS_SCALE=quick cargo run --release -p hws-bench --bin throughput
 //! ```
 
-use hws_bench::{bundled_swf_fixture, seeds_from_env, Scale, TraceSource};
+use hws_bench::{bundled_swf_fixture, metrics_fingerprint, seeds_from_env, Scale, TraceSource};
 use hws_core::{Mechanism, SimConfig, SimOutcome, Simulator};
 use hws_metrics::Table;
 use hws_workload::{SwfImportConfig, Trace};
@@ -51,15 +51,6 @@ struct Row {
     metrics_fingerprint: u64,
     avg_turnaround_h: f64,
     utilization: f64,
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Run one (mechanism × source) cell: timed sequential replays, a timed
@@ -124,10 +115,6 @@ fn run_cell(m: Mechanism, source_label: &'static str, traces: &[Trace], seeds: u
 
     let jobs: usize = traces.iter().map(|t| t.len()).sum();
     let events: u64 = sequential.iter().map(|o| o.engine.delivered).sum();
-    let mut dbg = String::new();
-    for o in &sequential {
-        let _ = write!(dbg, "{:?}", o.metrics);
-    }
     Row {
         mechanism: m,
         source: source_label,
@@ -138,7 +125,7 @@ fn run_cell(m: Mechanism, source_label: &'static str, traces: &[Trace], seeds: u
         seq_jobs_per_sec: jobs as f64 / seq_s,
         par_jobs_per_sec: jobs as f64 / par_s,
         events_per_sec: events as f64 / seq_s,
-        metrics_fingerprint: fnv1a(dbg.as_bytes()),
+        metrics_fingerprint: metrics_fingerprint(&sequential),
         avg_turnaround_h: sequential[0].metrics.avg_turnaround_h,
         utilization: sequential[0].metrics.utilization,
     }

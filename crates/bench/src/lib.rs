@@ -18,10 +18,11 @@
 //!   the paper's "ten randomly generated traces" protocol). `HWS_SWF_PPN`
 //!   sets processors per node for logs that count processors.
 
-use hws_core::{Mechanism, SimConfig, Simulator};
+use hws_core::{Mechanism, SimConfig, SimOutcome, Simulator};
 use hws_metrics::{Metrics, MetricsAvg};
 use hws_sim::SimDuration;
 use hws_workload::{import_swf_reader, NoticeMix, SwfImportConfig, Trace, TraceConfig};
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Experiment scale selected via `HWS_SCALE`.
@@ -226,6 +227,30 @@ pub fn run_fig6_grid(
         }
     }
     rows
+}
+
+/// FNV-1a over arbitrary bytes; the workspace's standard cheap stable
+/// hash for behavioral fingerprints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over the `Debug` rendering of every per-seed metrics struct: an
+/// exact behavioral fingerprint (f64 `Debug` is round-trip), stable across
+/// runs and Rust versions. Committed inside the `BENCH_*.json` baselines
+/// so any change to *any* metric bit shows up as a fingerprint drift in
+/// the CI `baseline-parity` gate.
+pub fn metrics_fingerprint(outcomes: &[SimOutcome]) -> u64 {
+    let mut dbg = String::new();
+    for o in outcomes {
+        let _ = write!(dbg, "{:?}", o.metrics);
+    }
+    fnv1a(dbg.as_bytes())
 }
 
 /// The bundled SWF replay fixture: a plain-SWF export of the quick-scale

@@ -17,9 +17,16 @@
 //! on-demand job, so that on completion "the on-demand job will try to
 //! return its nodes to the lenders" (§III-B3).
 
+pub mod backend;
+pub mod federation;
 pub mod lease;
 pub mod node;
 
+pub use backend::ClusterBackend;
+pub use federation::{
+    ClassAffinity, Federation, FederationConfig, FirstFit, LeastLoaded, PlaceReq, PlacementPolicy,
+    ShardSpec, ShardView,
+};
 pub use lease::{Lease, LeaseLedger};
 pub use node::NodeId;
 
@@ -131,6 +138,11 @@ impl Cluster {
 
     pub fn is_running(&self, job: JobId) -> bool {
         self.alloc.contains_key(&job)
+    }
+
+    /// Number of running jobs. O(1).
+    pub fn running_job_count(&self) -> u32 {
+        self.alloc.len() as u32
     }
 
     pub fn running_jobs(&self) -> impl Iterator<Item = JobId> + '_ {

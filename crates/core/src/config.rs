@@ -4,6 +4,7 @@ use crate::ckpt::CkptConfig;
 use crate::driver::{HooksHandle, MechanismHooks};
 use crate::failure::FailureConfig;
 use crate::policy::PolicyKind;
+use hws_cluster::FederationConfig;
 use hws_sim::SimDuration;
 use std::fmt;
 
@@ -186,6 +187,12 @@ pub struct SimConfig {
     /// from [`SimConfig::mechanism`]; `Some` overrides it entirely (set via
     /// [`SimConfig::with_hooks`]).
     pub hooks: Option<HooksHandle>,
+    /// Federated multi-cluster dispatch: `None` (the default, and the
+    /// paper's model) runs on one machine of `trace.system_size` nodes;
+    /// `Some` splits the same total capacity into named shards behind a
+    /// placement policy (set via [`SimConfig::federated`]). A one-shard
+    /// federation reproduces the single-cluster run bitwise.
+    pub federation: Option<FederationConfig>,
 }
 
 impl Default for SimConfig {
@@ -206,6 +213,7 @@ impl Default for SimConfig {
             paranoid_checks: false,
             record_timeline: false,
             hooks: None,
+            federation: None,
         }
     }
 }
@@ -273,6 +281,14 @@ impl SimConfig {
     /// Record a renderable schedule timeline.
     pub fn with_timeline(mut self) -> Self {
         self.record_timeline = true;
+        self
+    }
+
+    /// Dispatch over a federation of cluster shards instead of one
+    /// machine. The shard sizes must sum to the trace's system size
+    /// (checked at run start).
+    pub fn federated(mut self, federation: FederationConfig) -> Self {
+        self.federation = Some(federation);
         self
     }
 }

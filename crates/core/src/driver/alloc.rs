@@ -14,6 +14,7 @@ use super::events::Ev;
 use super::hooks::{ArrivalView, NoticeView, PredictionView};
 use crate::jobstate::{next_checkpoint_completion, Status};
 use crate::mechanism::{CupCandidate, ShrinkInfo, VictimInfo};
+use hws_cluster::ClusterBackend;
 use hws_sim::{EventQueue, SimTime};
 use hws_workload::{JobId, JobKind};
 
@@ -37,7 +38,7 @@ impl Claim {
     }
 }
 
-impl SimCore<'_> {
+impl<B: ClusterBackend> SimCore<'_, B> {
     // ------------------------------------------------------------------
     // Node routing
     // ------------------------------------------------------------------
@@ -150,15 +151,20 @@ impl SimCore<'_> {
             // per-notice allocation shows up in replay throughput.
             if self.hooks.plans_predictions() {
                 let predicted = notice.predicted_arrival;
+                // Plan only against the od's shard: preempting a victim on
+                // another shard can never feed this reservation. (A single
+                // cluster reports no shard, so nothing is filtered.)
+                let shard = self.cluster.shard_of(j);
                 let mut ids = std::mem::take(&mut self.scratch.victim_ids);
                 let mut candidates = std::mem::take(&mut self.scratch.candidates);
-                self.fill_running_victim_ids(&mut ids);
+                self.fill_running_victim_ids(&mut ids, shard);
                 self.fill_prediction_candidates(&ids, &mut candidates, predicted, now);
                 let plan = self.hooks.plan_for_prediction(&PredictionView {
                     od: j,
                     shortfall,
                     predicted,
                     now,
+                    shard,
                     candidates: &candidates,
                 });
                 ids.clear();
@@ -194,14 +200,17 @@ impl SimCore<'_> {
 
     /// Running jobs eligible as preemption victims (never on-demand jobs,
     /// never draining jobs), in job-id order, appended to `out` (a scratch
-    /// buffer recycled across decisions).
-    pub(super) fn fill_running_victim_ids(&self, out: &mut Vec<JobId>) {
-        out.extend(
-            self.cluster
-                .running_jobs()
-                .filter(|&j| self.spec(j).kind != JobKind::OnDemand)
-                .filter(|&j| self.st(j).status == Status::Running),
-        );
+    /// buffer recycled across decisions). `shard` restricts the scan to
+    /// one shard of a federated backend (`None` — no filtering).
+    pub(super) fn fill_running_victim_ids(&self, out: &mut Vec<JobId>, shard: Option<usize>) {
+        self.cluster.for_each_running(&mut |j| {
+            if shard.is_some() && self.cluster.shard_of(j) != shard {
+                return;
+            }
+            if self.spec(j).kind != JobKind::OnDemand && self.st(j).status == Status::Running {
+                out.push(j);
+            }
+        });
         out.sort();
     }
 
@@ -282,6 +291,11 @@ impl SimCore<'_> {
         let spec = self.spec(j).clone();
         let need = spec.size;
 
+        // Pin the job's placement now, so raids, victim scans, and claims
+        // all target one shard (a single cluster reports no shard and
+        // nothing below filters).
+        let shard = self.cluster.prepare_arrival(j);
+
         // Close the notice phase: stop collection/planning, stop squatting.
         if let Some(ev) = self.timeout_ev.remove(&j) {
             q.cancel(ev);
@@ -319,7 +333,7 @@ impl SimCore<'_> {
         }
         self.offer_free_nodes(now); // rigid squatters' plain nodes
 
-        let mut have = self.cluster.free_count() + self.cluster.reserved_idle_count(j) + promised;
+        let mut have = self.cluster.avail_for(j) + promised;
 
         // An *arrived* on-demand job outranks reservations held for merely
         // predicted ones: raid notice-phase reservations, robbing the most
@@ -348,7 +362,7 @@ impl SimCore<'_> {
             // view is worth the one extra snapshot over the old
             // strategy-specialized paths.
             let mut ids = std::mem::take(&mut self.scratch.victim_ids);
-            self.fill_running_victim_ids(&mut ids);
+            self.fill_running_victim_ids(&mut ids, shard);
             let shrinkable = self.arrival_shrinkables(&ids);
             let victims = self.arrival_victims(&ids, now);
             ids.clear();
@@ -357,6 +371,7 @@ impl SimCore<'_> {
                 od: j,
                 need_extra,
                 now,
+                shard,
                 shrinkable: &shrinkable,
                 victims: &victims,
             });

@@ -15,21 +15,26 @@ use crate::jobstate::{
     malleable_finish, malleable_progress_ns, rigid_progress, rigid_wall_time, JobState, Run, Status,
 };
 use crate::timeline::{Timeline, TimelineEvent};
-use hws_cluster::{Cluster, LeaseLedger};
-use hws_metrics::Recorder;
+use hws_cluster::{Cluster, ClusterBackend, LeaseLedger};
+use hws_metrics::{Recorder, ShardStat};
 use hws_sim::{EventId, EventQueue, SimDuration, SimTime};
 use hws_workload::{JobId, JobKind, JobSpec, Trace};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-/// The simulation model (per-run state).
-pub struct SimCore<'t> {
+/// The simulation model (per-run state), generic over the resource
+/// manager: a single [`Cluster`] (the default, and the paper's model) or
+/// any other [`ClusterBackend`] such as a
+/// [`Federation`](hws_cluster::Federation) of shards. Mechanism hooks are
+/// backend-generic by construction — they plan over snapshot views and
+/// never touch the backend directly.
+pub struct SimCore<'t, B: ClusterBackend = Cluster> {
     pub cfg: SimConfig,
     pub(super) hooks: Arc<dyn MechanismHooks>,
     pub(super) trace: &'t Trace,
     pub(super) idx_of: HashMap<JobId, usize>,
     pub(super) jobs: Vec<JobState>,
-    pub(super) cluster: Cluster,
+    pub(super) cluster: B,
     /// Waiting jobs (unordered; sorted per pass by the queue policy).
     pub(super) queue: Vec<JobId>,
     /// Arrived on-demand jobs that could not start instantly ("front of
@@ -52,6 +57,12 @@ pub struct SimCore<'t> {
     pub(super) pass_pending: bool,
     /// Reusable hot-path buffers (see [`super::pass`]).
     pub(super) scratch: Scratch,
+    /// Per-shard accumulation, active only for sharded backends
+    /// ([`ClusterBackend::shard_labels`] is `Some`): occupancy
+    /// node-seconds and job starts, indexed by shard.
+    pub(super) shard_occ: Vec<u128>,
+    pub(super) shard_starts: Vec<u64>,
+    pub(super) track_shards: bool,
     pub rec: Recorder,
     pub timeline: Timeline,
 }
@@ -71,15 +82,31 @@ pub(super) struct Scratch {
 }
 
 impl<'t> SimCore<'t> {
+    /// Single-cluster construction (the paper's model).
     pub fn new(cfg: SimConfig, trace: &'t Trace) -> Self {
+        SimCore::with_backend(cfg, trace, Cluster::new(trace.system_size))
+    }
+}
+
+impl<'t, B: ClusterBackend> SimCore<'t, B> {
+    /// Run the same driver against any resource-manager backend. The
+    /// backend's total capacity must match the trace's system size.
+    pub fn with_backend(cfg: SimConfig, trace: &'t Trace, backend: B) -> Self {
+        assert_eq!(
+            backend.total_nodes(),
+            trace.system_size,
+            "backend capacity must match the trace's system size"
+        );
         let mut idx_of = HashMap::with_capacity(trace.jobs.len());
         let mut jobs = Vec::with_capacity(trace.jobs.len());
         for (i, spec) in trace.jobs.iter().enumerate() {
             idx_of.insert(spec.id, i);
             jobs.push(JobState::new(spec.id, i, spec));
         }
+        let track_shards = backend.shard_labels().is_some();
+        let n_shards = backend.shard_count();
         SimCore {
-            cluster: Cluster::new(trace.system_size),
+            cluster: backend,
             rec: Recorder::new(trace.system_size),
             hooks: hooks_for(&cfg),
             cfg,
@@ -96,6 +123,9 @@ impl<'t> SimCore<'t> {
             cup_plans: HashMap::new(),
             pass_pending: false,
             scratch: Scratch::default(),
+            shard_occ: vec![0; if track_shards { n_shards } else { 0 }],
+            shard_starts: vec![0; if track_shards { n_shards } else { 0 }],
+            track_shards,
             timeline: Timeline::new(),
         }
     }
@@ -103,6 +133,40 @@ impl<'t> SimCore<'t> {
     /// The active mechanism hooks.
     pub fn hooks(&self) -> &dyn MechanismHooks {
         &*self.hooks
+    }
+
+    /// The resource-manager backend (read-only; tests and reporting).
+    pub fn backend(&self) -> &B {
+        &self.cluster
+    }
+
+    /// Per-shard breakdown of the run so far; `None` for backends that do
+    /// not distinguish shards (a bare [`Cluster`]).
+    pub fn shard_report(&self) -> Option<Vec<ShardStat>> {
+        let labels = self.cluster.shard_labels()?;
+        Some(
+            labels
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| ShardStat {
+                    name,
+                    nodes: self.cluster.shard_nodes(i),
+                    jobs_started: self.shard_starts[i],
+                    occupied_node_seconds: self.shard_occ[i],
+                })
+                .collect(),
+        )
+    }
+
+    /// Record occupancy both federation-wide and (when tracking) on the
+    /// job's shard.
+    pub(super) fn add_occ(&mut self, j: JobId, size: u32, dur: SimDuration) {
+        self.rec.add_occupancy(size, dur);
+        if self.track_shards {
+            if let Some(s) = self.cluster.shard_of(j) {
+                self.shard_occ[s] += u128::from(size) * u128::from(dur.as_secs());
+            }
+        }
     }
 
     #[inline]
@@ -220,11 +284,11 @@ impl<'t> SimCore<'t> {
         debug_assert!(size >= spec.min_size && size <= spec.size);
         let own_reserved = self.cluster.reserved_idle_count(j);
         let ok = if !backfill || own_reserved > 0 || !self.cfg.backfill_on_reserved {
-            self.cluster.allocate_with_reserved(j, size).is_some()
+            self.cluster.try_allocate_with_reserved(j, size)
         } else {
             let squattable = &self.squattable;
             self.cluster
-                .allocate_backfill(j, size, |h| squattable.contains(&h))
+                .try_allocate_backfill(j, size, &mut |h| squattable.contains(&h))
                 .is_some()
         };
         if !ok {
@@ -233,6 +297,11 @@ impl<'t> SimCore<'t> {
         // Leftover private reservation returns to the pool.
         if self.cluster.reserved_idle_count(j) > 0 {
             self.cluster.release_reservation(j);
+        }
+        if self.track_shards {
+            if let Some(s) = self.cluster.shard_of(j) {
+                self.shard_starts[s] += 1;
+            }
         }
         let (tau, delta) = if spec.kind == JobKind::Rigid {
             (
@@ -310,14 +379,18 @@ impl<'t> SimCore<'t> {
 
     /// Account occupancy for a running job up to `now`.
     pub(super) fn accrue_occupancy(&mut self, j: JobId, now: SimTime) {
-        let st = self.st_mut(j);
-        if let Some(run) = st.run.as_mut() {
-            let dur = now.since(run.occ_anchor);
-            let size = run.size;
-            run.occ_anchor = now;
-            if !dur.is_zero() {
-                self.rec.add_occupancy(size, dur);
-            }
+        let Some((size, dur)) = ({
+            let st = self.st_mut(j);
+            st.run.as_mut().map(|run| {
+                let dur = now.since(run.occ_anchor);
+                run.occ_anchor = now;
+                (run.size, dur)
+            })
+        }) else {
+            return;
+        };
+        if !dur.is_zero() {
+            self.add_occ(j, size, dur);
         }
     }
 

@@ -18,6 +18,7 @@
 use super::core::SimCore;
 use crate::jobstate::Status;
 use crate::timeline::TimelineEvent;
+use hws_cluster::ClusterBackend;
 use hws_sim::{EventQueue, SimTime, Simulation};
 use hws_workload::{JobId, JobKind};
 
@@ -52,7 +53,7 @@ pub enum Ev {
     Pass,
 }
 
-impl Simulation for SimCore<'_> {
+impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
@@ -62,7 +63,16 @@ impl Simulation for SimCore<'_> {
                 self.rec
                     .job_submitted_with_category(j, spec.kind, spec.size, now, spec.category);
                 self.log(now, j, TimelineEvent::Submitted);
-                if spec.kind == JobKind::OnDemand && self.hybrid() {
+                if spec.size > self.cluster.max_job_size() {
+                    // No shard can ever host it; queueing it would wait
+                    // forever. Impossible on a single cluster (the trace
+                    // validates size ≤ system size), real on federations
+                    // whose largest shard is smaller than the machine.
+                    let st = self.st_mut(j);
+                    st.status = Status::Killed;
+                    self.rec.job_killed(j, now);
+                    self.log(now, j, TimelineEvent::Killed);
+                } else if spec.kind == JobKind::OnDemand && self.hybrid() {
                     self.on_od_arrival(j, now, q);
                 } else {
                     self.st_mut(j).status = Status::Waiting;
@@ -74,6 +84,7 @@ impl Simulation for SimCore<'_> {
                 if self.hybrid()
                     && self.hooks.uses_notices()
                     && self.st(j).status == Status::Announced
+                    && self.spec(j).size <= self.cluster.max_job_size()
                 {
                     self.log(now, j, TimelineEvent::NoticeReceived);
                     self.on_notice(j, now, q);

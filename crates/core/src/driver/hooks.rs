@@ -51,6 +51,11 @@ pub struct PredictionView<'a> {
     pub shortfall: u32,
     pub predicted: SimTime,
     pub now: SimTime,
+    /// Federation shard the job is placed on (`None` on a single
+    /// cluster). `candidates` is already restricted to this shard, so
+    /// hooks stay backend-generic; shard-aware mechanisms may still
+    /// specialize on it.
+    pub shard: Option<usize>,
     pub candidates: &'a [CupCandidate],
 }
 
@@ -62,6 +67,9 @@ pub struct ArrivalView<'a> {
     /// Nodes still needed beyond everything already secured.
     pub need_extra: u32,
     pub now: SimTime,
+    /// Federation shard the job is arriving on (`None` on a single
+    /// cluster). The snapshots below are already restricted to it.
+    pub shard: Option<usize>,
     /// Running malleable jobs and how far each can shrink (already capped to
     /// the nodes that would actually reach the arriving job).
     pub shrinkable: &'a [ShrinkInfo],

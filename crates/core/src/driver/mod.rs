@@ -4,13 +4,16 @@
 //!
 //! ## Layer map (see DESIGN.md §1–§3 for the full architecture)
 //!
-//! * [`events`] — the [`Ev`] enum and the epoch-guarded dispatch loop.
-//! * [`alloc`] — claims, the `offer_free_nodes` node-routing discipline,
+//! * `events` — the [`Ev`] enum and the epoch-guarded dispatch loop.
+//! * `alloc` — claims, the `offer_free_nodes` node-routing discipline,
 //!   lease settling, and on-demand notice/arrival orchestration.
-//! * [`preempt`] — preempt/shrink/expand/drain/checkpoint mechanics.
-//! * [`pass`] — the FCFS + EASY scheduling pass, shadow computation, and
+//! * `preempt` — preempt/shrink/expand/drain/checkpoint mechanics.
+//! * `pass` — the FCFS + EASY scheduling pass, shadow computation, and
 //!   backfill sizing.
-//! * [`core`] — the slimmed [`SimCore`] state, estimates, run lifecycle.
+//! * `core` — the slimmed [`SimCore`] state, estimates, run lifecycle —
+//!   generic over [`hws_cluster::ClusterBackend`], so the same driver
+//!   schedules a single [`hws_cluster::Cluster`] or a multi-shard
+//!   [`hws_cluster::Federation`].
 //! * [`hooks`] — the [`MechanismHooks`] extension point; the six paper
 //!   mechanisms are `{N, CUA, CUP} × {PAA, SPAA}` compositions, and new
 //!   mechanisms register via [`SimConfig::with_hooks`] without touching
@@ -37,7 +40,8 @@ pub use hooks::{
 
 use crate::config::{Mechanism, SimConfig};
 use crate::timeline::Timeline;
-use hws_metrics::Metrics;
+use hws_cluster::{ClusterBackend, Federation};
+use hws_metrics::{Metrics, ShardStat};
 use hws_sim::{Engine, EngineStats};
 use hws_workload::{Trace, TraceConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -51,16 +55,33 @@ pub struct SimOutcome {
     pub mechanism: Mechanism,
     /// Present when `SimConfig::record_timeline` was set.
     pub timeline: Option<Timeline>,
+    /// Per-shard breakdown, present for federated runs only. Deliberately
+    /// *outside* [`Metrics`] so the 1-shard-federation-vs-single-cluster
+    /// metric comparison stays bitwise meaningful.
+    pub shards: Option<Vec<ShardStat>>,
 }
 
 /// Public façade: configure once, replay traces.
 pub struct Simulator;
 
 impl Simulator {
-    /// Replay `trace` under `cfg` and report the §IV-D metrics.
+    /// Replay `trace` under `cfg` and report the §IV-D metrics. Runs on a
+    /// single cluster, or — when `cfg.federation` is set — on a
+    /// federation of shards at the same total capacity.
     pub fn run_trace(cfg: &SimConfig, trace: &Trace) -> SimOutcome {
-        let core = SimCore::new(cfg.clone(), trace);
-        let schedule_notices = !cfg.mechanism.is_baseline() && core.hooks.uses_notices();
+        match &cfg.federation {
+            None => Self::run_core(SimCore::new(cfg.clone(), trace), trace),
+            Some(fed) => {
+                let backend = Federation::new(fed, trace.system_size, &trace.jobs);
+                Self::run_core(SimCore::with_backend(cfg.clone(), trace, backend), trace)
+            }
+        }
+    }
+
+    /// The backend-generic run loop behind [`Simulator::run_trace`].
+    fn run_core<B: ClusterBackend>(core: SimCore<'_, B>, trace: &Trace) -> SimOutcome {
+        let schedule_notices = !core.cfg.mechanism.is_baseline() && core.hooks.uses_notices();
+        let mechanism = core.cfg.mechanism;
         let mut engine = Engine::new(core);
         for (idx, spec) in trace.jobs.iter().enumerate() {
             let id = spec.id;
@@ -76,7 +97,8 @@ impl Simulator {
         SimOutcome {
             metrics,
             engine: stats,
-            mechanism: cfg.mechanism,
+            mechanism,
+            shards: core.shard_report(),
             timeline: core.cfg.record_timeline.then_some(core.timeline),
         }
     }

@@ -7,10 +7,11 @@ use super::events::Ev;
 use crate::backfill::{compute_shadow, may_backfill, Shadow};
 use crate::jobstate::Status;
 use crate::policy::queue_key;
+use hws_cluster::ClusterBackend;
 use hws_sim::{EventQueue, SimTime};
 use hws_workload::{JobId, JobKind};
 
-impl SimCore<'_> {
+impl<B: ClusterBackend> SimCore<'_, B> {
     pub(super) fn schedule_pass(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
         if self.queue.is_empty() {
             return;
@@ -46,14 +47,18 @@ impl SimCore<'_> {
         while pos < ordered.len() {
             let j = ordered[pos];
             let own = self.cluster.reserved_idle_count(j);
-            let avail = self.cluster.free_count() + own;
+            // Per-job availability: free + own-reserved co-located on one
+            // shard (on a single cluster, exactly `free_count() + own`).
+            let avail = self.cluster.avail_for(j);
             let need = self.start_need(j);
             let (fits, backfill, usable) = if avail >= need {
                 (true, false, avail)
             } else if own == 0 && self.hybrid() && self.cfg.backfill_on_reserved {
                 let squattable = &self.squattable;
-                let squat = self.cluster.squattable_idle(|h| squattable.contains(&h));
-                (avail + squat >= need, true, avail + squat)
+                let usable = self
+                    .cluster
+                    .backfill_avail_for(j, &mut |h| squattable.contains(&h));
+                (usable >= need, true, usable)
             } else {
                 (false, false, avail)
             };
@@ -87,14 +92,17 @@ impl SimCore<'_> {
                     .sum();
                 if avail + raidable >= need {
                     let mut deficit = need - avail;
-                    // Rob the lowest-priority holders first.
+                    // Rob the lowest-priority holders first. (Cross-shard
+                    // transfers are refused by federated backends, so a
+                    // raid can fall short there; the head then just stays
+                    // blocked until its own shard drains.)
                     for &w in lower.iter().rev() {
                         if deficit == 0 {
                             break;
                         }
                         deficit -= self.cluster.transfer_reserved(w, j, deficit);
                     }
-                    let usable = self.cluster.free_count() + self.cluster.reserved_idle_count(j);
+                    let usable = self.cluster.avail_for(j);
                     let size = self.choose_start_size(j, usable);
                     if self.start_job(j, size, false, now, q) {
                         if self.spec(j).kind == JobKind::OnDemand {
@@ -162,13 +170,22 @@ impl SimCore<'_> {
     }
 
     /// Shadow reservation for the blocked head job. Reuses the scratch
-    /// release buffer; per-job split counts are O(1) cluster lookups.
+    /// release buffer; per-job split counts are O(1) cluster lookups. On a
+    /// sharded backend the projection counts only releases on the head's
+    /// shard — nodes freed elsewhere can never reach it.
     pub(super) fn head_shadow(&mut self, head: JobId, now: SimTime) -> Shadow {
         let mut releases = std::mem::take(&mut self.scratch.releases);
-        for v in self.cluster.running_jobs() {
+        // For a placed head this is its home; for an unplaced one, the
+        // shard whose free count `avail_for` reports below — either way
+        // the projection and the availability refer to the same shard.
+        let head_shard = self.cluster.placement_shard(head);
+        self.cluster.for_each_running(&mut |v| {
+            if head_shard.is_some() && self.cluster.shard_of(v) != head_shard {
+                return;
+            }
             let st = self.st(v);
             if st.status != Status::Running && st.status != Status::Draining {
-                continue;
+                return;
             }
             // Only the plain portion returns to the free pool; squatted
             // nodes go back to their on-demand holder.
@@ -176,8 +193,8 @@ impl SimCore<'_> {
             if plain > 0 {
                 releases.push((self.expected_end(v, now), plain));
             }
-        }
-        let avail = self.cluster.free_count() + self.cluster.reserved_idle_count(head);
+        });
+        let avail = self.cluster.avail_for(head);
         let shadow = compute_shadow(&mut releases, avail, self.start_need(head));
         releases.clear();
         self.scratch.releases = releases;
@@ -193,10 +210,11 @@ impl SimCore<'_> {
         // a private reservation draws from free + own; otherwise it may
         // squat on notice-phase reservations.
         let avail = if own > 0 || !self.cfg.backfill_on_reserved {
-            self.cluster.free_count() + own
+            self.cluster.avail_for(j)
         } else {
             let squattable = &self.squattable;
-            self.cluster.free_count() + self.cluster.squattable_idle(|h| squattable.contains(&h))
+            self.cluster
+                .backfill_avail_for(j, &mut |h| squattable.contains(&h))
         };
         if spec.kind == JobKind::Malleable && self.hybrid() {
             if avail < spec.min_size {

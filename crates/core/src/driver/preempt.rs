@@ -5,10 +5,11 @@ use super::core::SimCore;
 use super::events::Ev;
 use crate::jobstate::{rigid_progress, Status};
 use crate::timeline::TimelineEvent;
+use hws_cluster::ClusterBackend;
 use hws_sim::{EventQueue, SimTime};
 use hws_workload::{JobId, JobKind};
 
-impl SimCore<'_> {
+impl<B: ClusterBackend> SimCore<'_, B> {
     /// Preemption overhead (wasted node-seconds) of preempting `j` now:
     /// work past the last checkpoint for rigid jobs; spent setup plus the
     /// warning window for malleable jobs.
@@ -104,8 +105,9 @@ impl SimCore<'_> {
         st.cur_size = full_size; // next start re-chooses a size
         let size = run.size;
         // Warning window: occupied, zero progress → pure waste.
-        self.rec.add_occupancy(size, self.cfg.malleable_warning);
-        self.rec.add_waste(size, self.cfg.malleable_warning);
+        let warning = self.cfg.malleable_warning;
+        self.add_occ(j, size, warning);
+        self.rec.add_waste(size, warning);
         self.cluster.release(j);
         self.queue.push(j);
     }

@@ -18,9 +18,11 @@
 //! averages reports across seeds the way the paper averages ten traces.
 
 pub mod record;
+pub mod shard;
 pub mod summary;
 pub mod table;
 
 pub use record::{JobRecord, Recorder};
+pub use shard::{ShardStat, ShardTotals};
 pub use summary::{KindStats, Metrics, MetricsAvg};
 pub use table::Table;

@@ -1,0 +1,92 @@
+//! Per-shard aggregation for federated runs.
+//!
+//! Federation-wide numbers are the ordinary [`Metrics`](crate::Metrics) —
+//! a federated simulation records into the same `Recorder` as a
+//! single-cluster one. What a federation adds is the *breakdown*: how the
+//! load landed across shards. The driver accumulates one [`ShardStat`] per
+//! shard and attaches the list to the run outcome.
+
+/// Where one shard's load ended up over a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStat {
+    pub name: String,
+    pub nodes: u32,
+    /// Job starts placed on this shard (restarts after preemption count
+    /// again — they are fresh placements, pinned to the same home).
+    pub jobs_started: u64,
+    /// Node-seconds any job occupied on this shard.
+    pub occupied_node_seconds: u128,
+}
+
+impl ShardStat {
+    /// Occupancy over `span_secs` of wall time, as a fraction of this
+    /// shard's capacity. 0 for an empty span.
+    pub fn occupancy(&self, span_secs: u64) -> f64 {
+        let cap = u128::from(self.nodes) * u128::from(span_secs);
+        if cap == 0 {
+            0.0
+        } else {
+            self.occupied_node_seconds as f64 / cap as f64
+        }
+    }
+}
+
+/// Federation-wide rollup of a shard breakdown (a consistency companion to
+/// the global [`Metrics`](crate::Metrics), not a replacement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardTotals {
+    pub nodes: u32,
+    pub jobs_started: u64,
+    pub occupied_node_seconds: u128,
+}
+
+impl ShardTotals {
+    pub fn of(shards: &[ShardStat]) -> ShardTotals {
+        shards
+            .iter()
+            .fold(ShardTotals::default(), |acc, s| ShardTotals {
+                nodes: acc.nodes + s.nodes,
+                jobs_started: acc.jobs_started + s.jobs_started,
+                occupied_node_seconds: acc.occupied_node_seconds + s.occupied_node_seconds,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_fraction() {
+        let s = ShardStat {
+            name: "a".into(),
+            nodes: 10,
+            jobs_started: 3,
+            occupied_node_seconds: 500,
+        };
+        assert!((s.occupancy(100) - 0.5).abs() < 1e-12);
+        assert_eq!(s.occupancy(0), 0.0);
+    }
+
+    #[test]
+    fn totals_roll_up() {
+        let shards = vec![
+            ShardStat {
+                name: "a".into(),
+                nodes: 4,
+                jobs_started: 1,
+                occupied_node_seconds: 10,
+            },
+            ShardStat {
+                name: "b".into(),
+                nodes: 6,
+                jobs_started: 2,
+                occupied_node_seconds: 20,
+            },
+        ];
+        let t = ShardTotals::of(&shards);
+        assert_eq!(t.nodes, 10);
+        assert_eq!(t.jobs_started, 3);
+        assert_eq!(t.occupied_node_seconds, 30);
+    }
+}

@@ -116,14 +116,22 @@ impl<E> EventQueue<E> {
         // Tombstone compaction: when cancelled entries outnumber the live
         // ones, rebuild the heap without them. O(heap), amortized O(1) per
         // cancel; keeps epoch-bumped Finish/Kill tombstones from dominating
-        // the heap under heavy preemption.
-        if self.cancelled.len() * 2 > self.heap.len() {
+        // the heap under heavy preemption. The threshold reads are hoisted
+        // into locals so the common no-compaction path is one compare and
+        // a never-taken branch into the `#[cold]` rebuild.
+        let tombstones = self.cancelled.len();
+        let heap_len = self.heap.len();
+        if tombstones * 2 > heap_len {
             self.compact();
         }
         true
     }
 
-    /// Drop every cancelled entry from the heap in one pass.
+    /// Drop every cancelled entry from the heap in one pass. Cold: at most
+    /// one compaction per `heap/2` cancels, and most replays never cancel
+    /// enough to trigger it at all.
+    #[cold]
+    #[inline(never)]
     fn compact(&mut self) {
         let entries = std::mem::take(&mut self.heap).into_vec();
         let live: Vec<Entry<E>> = entries

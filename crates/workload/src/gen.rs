@@ -570,6 +570,7 @@ impl<'c> Generator<'c> {
             setup,
             notice,
             category,
+            site_hint: None,
         }
     }
 

@@ -93,7 +93,7 @@ pub struct JobSpec {
     /// *actual* arrival (which may differ from the predicted one).
     pub submit: SimTime,
     /// Requested node count; for malleable jobs this is the **maximum**
-    /// size (paper §IV-B: "their maximum job size [is] their original
+    /// size (paper §IV-B: "their maximum job size \[is\] their original
     /// requested job size").
     pub size: u32,
     /// Minimum size a malleable job can shrink to (= `size` for rigid and
@@ -113,6 +113,12 @@ pub struct JobSpec {
     /// Which Fig. 1 category the job belongs to (meaningful for on-demand
     /// jobs; `NoNotice` otherwise).
     pub category: NoticeCategory,
+    /// Preferred federation shard (multi-cluster dispatch): an index into
+    /// the federation's shard list. `None` — the common case, and the only
+    /// value single-cluster runs ever see — lets the placement policy
+    /// decide. A hint naming a shard too small for the job is ignored.
+    /// In-memory only: the CSV/SWF interchange formats do not carry it.
+    pub site_hint: Option<u32>,
 }
 
 impl JobSpec {
@@ -233,6 +239,7 @@ impl JobSpecBuilder {
                 setup: SimDuration::ZERO,
                 notice: None,
                 category: NoticeCategory::NoNotice,
+                site_hint: None,
             },
         }
     }
@@ -292,6 +299,12 @@ impl JobSpecBuilder {
 
     pub fn setup(mut self, d: SimDuration) -> Self {
         self.spec.setup = d;
+        self
+    }
+
+    /// Prefer a federation shard (see [`JobSpec::site_hint`]).
+    pub fn site_hint(mut self, shard: u32) -> Self {
+        self.spec.site_hint = Some(shard);
         self
     }
 

@@ -369,6 +369,7 @@ fn parse_embedded_line(line: &str, ln: usize) -> Result<JobSpec, SwfError> {
         setup: SimDuration::from_secs(nonneg(13, "setup (executable)")?),
         notice,
         category,
+        site_hint: None,
     })
 }
 
@@ -456,6 +457,7 @@ fn assign_classes(raws: Vec<RawJob>, cfg: &SwfImportConfig, system_size: u32) ->
             setup: SimDuration::from_secs((r.runtime as f64 * frac).round() as u64),
             notice,
             category,
+            site_hint: None,
         });
     }
     jobs.sort_by_key(|j| (j.submit, j.id));

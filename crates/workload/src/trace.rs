@@ -185,6 +185,7 @@ impl Trace {
                 setup: SimDuration::from_secs(parse_u64(f[8], "setup")?),
                 notice,
                 category,
+                site_hint: None,
             });
         }
         Ok(Trace::new(system_size, horizon, jobs))

@@ -62,14 +62,17 @@ pub use hws_workload;
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use hws_cluster::{Cluster, LeaseLedger, NodeId};
+    pub use hws_cluster::{
+        ClassAffinity, Cluster, ClusterBackend, Federation, FederationConfig, FirstFit,
+        LeaseLedger, LeastLoaded, NodeId, PlacementPolicy, ShardSpec,
+    };
     pub use hws_core::{
         ArrivalPlan, ArrivalPolicy, ArrivalStrategy, ArrivalView, CkptConfig, CollectUntilArrival,
         CollectUntilPredicted, Composed, IgnoreNotices, Mechanism, MechanismHooks, NoticeDecision,
         NoticePolicy, NoticeStrategy, NoticeView, PolicyKind, PredictionView, PreemptAtArrival,
         ShrinkStrategy, ShrinkThenPreempt, SimConfig, SimOutcome, Simulator, VictimOrder,
     };
-    pub use hws_metrics::{Metrics, MetricsAvg, Recorder, Table};
+    pub use hws_metrics::{Metrics, MetricsAvg, Recorder, ShardStat, ShardTotals, Table};
     pub use hws_sim::{SimDuration, SimTime};
     pub use hws_workload::{
         job::JobSpecBuilder, JobId, JobKind, JobSpec, NoticeCategory, NoticeMix, Trace, TraceConfig,
