@@ -12,7 +12,7 @@ use hws_core::mechanism::{
 };
 use hws_core::{ShrinkStrategy, VictimOrder};
 use hws_sim::SimTime;
-use hws_workload::JobId;
+use hws_workload::{JobClass, JobId};
 use std::hint::black_box;
 
 /// A Theta-sized running set: jobs covering several thousand nodes.
@@ -23,6 +23,7 @@ fn victims(n: usize) -> Vec<VictimInfo> {
             nodes: 8 + (i as u32 * 37) % 128,
             overhead_ns: ((i as u64 * 2_654_435_761) % 1_000_000) * 60,
             started: SimTime::from_secs((i as u64 * 997) % 86_400),
+            class: JobClass::Capacity,
         })
         .collect()
 }
@@ -35,6 +36,7 @@ fn shrinkables(n: usize) -> Vec<ShrinkInfo> {
                 id: JobId(i as u64),
                 cur,
                 min: cur / 5,
+                class: JobClass::Capacity,
             }
         })
         .collect()
@@ -48,6 +50,7 @@ fn cup_candidates(n: usize) -> Vec<CupCandidate> {
             expected_end: SimTime::from_secs(1_000 + (i as u64 * 331) % 100_000),
             overhead_ns: ((i as u64 * 48_271) % 1_000_000) * 60,
             cheap_preempt_at: (i % 3 != 0).then(|| SimTime::from_secs((i as u64 * 77) % 2_000)),
+            class: JobClass::Capacity,
         })
         .collect()
 }

@@ -16,8 +16,9 @@
 //!
 //! Comparison rules per file:
 //!
-//! * `BENCH_swf_replay.json`, `BENCH_federated.json` — byte-for-byte:
-//!   every recorded field is a deterministic simulation output.
+//! * `BENCH_swf_replay.json`, `BENCH_federated.json`,
+//!   `BENCH_capability.json` — byte-for-byte: every recorded field is a
+//!   deterministic simulation output.
 //! * `BENCH_simulator_throughput.json` — field-wise on the deterministic
 //!   columns (`source`, `mechanism`, `jobs`, `seeds`,
 //!   `metrics_fingerprint`, `avg_turnaround_h`, `utilization`); the
@@ -47,7 +48,11 @@ fn main() {
     let root = workspace_root();
     let mut failures = Vec::new();
 
-    for file in ["BENCH_swf_replay.json", "BENCH_federated.json"] {
+    for file in [
+        "BENCH_swf_replay.json",
+        "BENCH_federated.json",
+        "BENCH_capability.json",
+    ] {
         if let Err(e) = compare_bytes(&root.join(file), &regen_dir.join(file)) {
             failures.push((file, e));
         }
@@ -73,6 +78,7 @@ fn main() {
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin swf_replay\n\
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin throughput\n\
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin federated\n\
+         \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin capability\n\
          \n\
          (each binary rewrites its BENCH_*.json at the workspace root), and explain the\n\
          metric movement in the PR description. If the drift is *unintended*, the change\n\

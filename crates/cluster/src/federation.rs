@@ -67,6 +67,32 @@ pub struct PlaceReq {
 ///
 /// Implementations must be deterministic pure functions of their inputs —
 /// the multi-seed sweep shares one policy instance across worker threads.
+///
+/// A custom policy is a few lines and plugs into a
+/// [`FederationConfig`] without any driver changes:
+///
+/// ```
+/// use hws_cluster::{FederationConfig, PlaceReq, PlacementPolicy, ShardView};
+///
+/// /// Send every job to the *last* feasible shard (e.g. drain the first
+/// /// shards for maintenance).
+/// #[derive(Debug)]
+/// struct LastFeasible;
+///
+/// impl PlacementPolicy for LastFeasible {
+///     fn name(&self) -> &str {
+///         "last-feasible"
+///     }
+///
+///     fn choose(&self, _req: &PlaceReq, shards: &[ShardView]) -> Option<usize> {
+///         shards.last().map(|s| s.index)
+///     }
+/// }
+///
+/// let fed = FederationConfig::even_split(4, 4_392).with_policy(LastFeasible);
+/// assert_eq!(fed.policy.name(), "last-feasible");
+/// assert_eq!(fed.total_nodes(), 4_392);
+/// ```
 pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
     fn name(&self) -> &str;
     fn choose(&self, req: &PlaceReq, shards: &[ShardView]) -> Option<usize>;

@@ -239,6 +239,7 @@ impl<B: ClusterBackend> SimCore<'_, B> {
                 expected_end: self.expected_end(v, now),
                 overhead_ns: self.preemption_overhead(v, now),
                 cheap_preempt_at: cheap,
+                class: self.spec(v).class,
             }
         }));
     }
@@ -260,6 +261,7 @@ impl<B: ClusterBackend> SimCore<'_, B> {
                     id: v,
                     cur,
                     min: min.max(cur.saturating_sub(plain)),
+                    class: self.spec(v).class,
                 }
             })
             .collect()
@@ -279,6 +281,7 @@ impl<B: ClusterBackend> SimCore<'_, B> {
                     nodes: plain,
                     overhead_ns: self.preemption_overhead(v, now),
                     started: self.st(v).run.as_ref().expect("running").start,
+                    class: self.spec(v).class,
                 }
             })
             .filter(|v| v.nodes > 0)

@@ -18,7 +18,7 @@ use crate::timeline::{Timeline, TimelineEvent};
 use hws_cluster::{Cluster, ClusterBackend, LeaseLedger};
 use hws_metrics::{Recorder, ShardStat};
 use hws_sim::{EventId, EventQueue, SimDuration, SimTime};
-use hws_workload::{JobId, JobKind, JobSpec, Trace};
+use hws_workload::{JobClass, JobId, JobKind, JobSpec, Trace};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -55,6 +55,11 @@ pub struct SimCore<'t, B: ClusterBackend = Cluster> {
     pub(super) timeout_ev: HashMap<JobId, EventId>,
     pub(super) cup_plans: HashMap<JobId, Vec<EventId>>,
     pub(super) pass_pending: bool,
+    /// Capability-class jobs currently running, maintained incrementally
+    /// at the four run-state transitions (start, finish, fail, preempt)
+    /// so [`super::hooks::MechanismHooks::admit`] sees an O(1) snapshot.
+    /// Stays 0 — and costs nothing — on two-class traces.
+    pub(super) cap_running: u32,
     /// Reusable hot-path buffers (see [`super::pass`]).
     pub(super) scratch: Scratch,
     /// Per-shard accumulation, active only for sharded backends
@@ -122,6 +127,7 @@ impl<'t, B: ClusterBackend> SimCore<'t, B> {
             timeout_ev: HashMap::new(),
             cup_plans: HashMap::new(),
             pass_pending: false,
+            cap_running: 0,
             scratch: Scratch::default(),
             shard_occ: vec![0; if track_shards { n_shards } else { 0 }],
             shard_starts: vec![0; if track_shards { n_shards } else { 0 }],
@@ -133,6 +139,38 @@ impl<'t, B: ClusterBackend> SimCore<'t, B> {
     /// The active mechanism hooks.
     pub fn hooks(&self) -> &dyn MechanismHooks {
         &*self.hooks
+    }
+
+    /// Capability-class jobs currently running (the incremental count the
+    /// admission hook sees; cross-validated against a full job scan after
+    /// every event under `paranoid_checks`).
+    pub fn running_capability(&self) -> u32 {
+        self.cap_running
+    }
+
+    /// Paranoid cross-check: the incremental [`Self::cap_running`] counter
+    /// must equal a full scan over the job table. `trace.jobs` and `jobs`
+    /// are parallel vectors by construction.
+    pub(super) fn check_cap_running_invariant(&self) {
+        let scan = self
+            .trace
+            .jobs
+            .iter()
+            .zip(&self.jobs)
+            .filter(|(spec, st)| spec.class == JobClass::Capability && st.status == Status::Running)
+            .count() as u32;
+        assert_eq!(
+            scan, self.cap_running,
+            "incremental cap_running counter drifted from the scan oracle"
+        );
+    }
+
+    /// A capability job left the running state; called at every such
+    /// transition (finish, kill, fail, preempt).
+    pub(super) fn note_run_stopped(&mut self, j: JobId) {
+        if self.spec(j).class == JobClass::Capability {
+            self.cap_running -= 1;
+        }
     }
 
     /// The resource-manager backend (read-only; tests and reporting).
@@ -311,6 +349,9 @@ impl<'t, B: ClusterBackend> SimCore<'t, B> {
         } else {
             (None, self.cfg.ckpt.timeline_cost(size))
         };
+        if spec.class == JobClass::Capability {
+            self.cap_running += 1;
+        }
         let st = self.st_mut(j);
         st.status = Status::Running;
         st.cur_size = size;
@@ -412,6 +453,7 @@ impl<'t, B: ClusterBackend> SimCore<'t, B> {
         let size = self.st(j).run.as_ref().expect("running").size;
         self.accrue_occupancy(j, now);
         self.rec.job_failed(j);
+        self.note_run_stopped(j);
         self.log(now, j, TimelineEvent::Failed);
         match spec.kind {
             JobKind::Malleable => {
@@ -470,6 +512,7 @@ impl<'t, B: ClusterBackend> SimCore<'t, B> {
         q: &mut EventQueue<Ev>,
     ) {
         self.accrue_occupancy(j, now);
+        self.note_run_stopped(j);
         let spec_kind = self.spec(j).kind;
         let st = self.st_mut(j);
         let run = st.run.take().expect("finishing job had a run");

@@ -60,8 +60,14 @@ impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
         match ev {
             Ev::Submit(j) => {
                 let spec = self.spec(j).clone();
-                self.rec
-                    .job_submitted_with_category(j, spec.kind, spec.size, now, spec.category);
+                self.rec.job_submitted_full(
+                    j,
+                    spec.kind,
+                    spec.class,
+                    spec.size,
+                    now,
+                    spec.category,
+                );
                 self.log(now, j, TimelineEvent::Submitted);
                 if spec.size > self.cluster.max_job_size() {
                     // No shard can ever host it; queueing it would wait
@@ -160,6 +166,7 @@ impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
         }
         if self.cfg.paranoid_checks {
             self.cluster.check_invariants().expect("cluster invariants");
+            self.check_cap_running_invariant();
         }
     }
 }

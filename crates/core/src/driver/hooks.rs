@@ -14,7 +14,7 @@ use crate::mechanism::{
     plan_cup, plan_shrinks, select_victims, CupCandidate, CupPlan, ShrinkInfo, VictimInfo,
 };
 use hws_sim::SimTime;
-use hws_workload::JobId;
+use hws_workload::{JobClass, JobId, JobKind};
 use std::fmt;
 use std::sync::Arc;
 
@@ -78,6 +78,24 @@ pub struct ArrivalView<'a> {
     pub victims: &'a [VictimInfo],
 }
 
+/// Snapshot handed to [`MechanismHooks::admit`] before the scheduling pass
+/// starts (or backfills) a waiting job: the per-class admission knob of
+/// capability/capacity co-scheduling. The driver maintains
+/// `running_capability` incrementally, so consulting the hook costs O(1)
+/// per start attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionView {
+    pub job: JobId,
+    pub kind: JobKind,
+    /// Capability/capacity class of the job asking to start.
+    pub class: JobClass,
+    /// Requested size (the maximum, for malleable jobs).
+    pub size: u32,
+    /// Capability-class jobs currently running.
+    pub running_capability: u32,
+    pub now: SimTime,
+}
+
 /// How to source the missing nodes at arrival. The driver executes shrinks
 /// first, then preemptions, and records the matching leases (§III-B3).
 /// Return an empty plan to let the job wait at the front of the queue.
@@ -99,6 +117,35 @@ impl ArrivalPlan {
 /// A scheduling mechanism, as seen by the driver. Implementations must be
 /// deterministic pure functions of their views — the multi-seed sweep runs
 /// one simulation per thread against a shared hooks instance.
+///
+/// Only [`MechanismHooks::on_arrival`] is required; every other decision
+/// point has a neutral default, so a minimal mechanism is a few lines.
+/// Registering it through [`SimConfig::with_hooks`] needs no driver
+/// changes:
+///
+/// ```
+/// use hws_core::{ArrivalPlan, ArrivalView, MechanismHooks, SimConfig, Simulator};
+/// use hws_workload::TraceConfig;
+///
+/// /// Never preempt anyone: arriving on-demand jobs just wait at the
+/// /// front of the queue until enough nodes free up on their own.
+/// #[derive(Debug)]
+/// struct Pacifist;
+///
+/// impl MechanismHooks for Pacifist {
+///     fn name(&self) -> &str {
+///         "pacifist"
+///     }
+///
+///     fn on_arrival(&self, _view: &ArrivalView<'_>) -> ArrivalPlan {
+///         ArrivalPlan::wait()
+///     }
+/// }
+///
+/// let trace = TraceConfig::tiny().generate(1);
+/// let out = Simulator::run_trace(&SimConfig::with_hooks(Pacifist), &trace);
+/// assert!(out.metrics.completed_jobs > 0);
+/// ```
 pub trait MechanismHooks: fmt::Debug + Send + Sync {
     /// Display name (used in outcome reports and `HooksHandle`'s `Debug`).
     fn name(&self) -> &str;
@@ -138,6 +185,19 @@ pub trait MechanismHooks: fmt::Debug + Send + Sync {
     /// The job actually arrived and nodes are still missing: decide which
     /// running jobs to shrink and/or preempt.
     fn on_arrival(&self, view: &ArrivalView<'_>) -> ArrivalPlan;
+
+    /// Per-class admission throttle, consulted by the scheduling pass
+    /// before it starts (or backfills) a waiting job. Returning `false`
+    /// leaves the job queued: an in-order job blocks as the pass head
+    /// (EASY backfills behind it), a backfill candidate is skipped. The
+    /// default admits everything, which reproduces the paper's two-class
+    /// behavior exactly; capability-aware hooks use it to cap concurrent
+    /// capability campaigns (see [`CapabilityAware`]). Not consulted by
+    /// the baseline, which never consults hooks at all.
+    fn admit(&self, view: &AdmissionView) -> bool {
+        let _ = view;
+        true
+    }
 }
 
 /// Clonable, debuggable handle carried by [`SimConfig`].
@@ -317,23 +377,199 @@ impl<N: NoticePolicy, A: ArrivalPolicy> MechanismHooks for Composed<N, A> {
     }
 }
 
-/// Build the hooks for a configuration: an explicit [`SimConfig::hooks`]
-/// wins; otherwise the mechanism enum maps onto the standard compositions.
-pub(crate) fn hooks_for(cfg: &SimConfig) -> Arc<dyn MechanismHooks> {
-    if let Some(handle) = &cfg.hooks {
-        return Arc::clone(&handle.0);
+// ---------------------------------------------------------------------------
+// Capability-aware composition (capability/capacity co-scheduling)
+// ---------------------------------------------------------------------------
+
+/// Capability/capacity co-scheduling as a hooks composition: wraps any
+/// inner mechanism and gives [`JobClass::Capability`] jobs their own
+/// notice/preemption treatment without touching driver internals.
+///
+/// * **Victim shielding** (default on): capability jobs are removed from
+///   every victim snapshot before the inner mechanism plans — they are
+///   never chosen as arrival-time (PAA/SPAA fallback) or CUP-planned
+///   preemption victims. They may still squat on notice-phase
+///   reservations and be evicted when the holder arrives, exactly like
+///   any squatter (squatting is a lease the squatter accepted, not a
+///   scheduling decision the policy controls).
+/// * **Admission throttle** (off by default): `with_max_running(k)` caps
+///   the number of concurrently *running* capability campaigns; further
+///   capability jobs block in-order (capacity work backfills behind
+///   them). `with_max_running(0)` starves capability work entirely —
+///   useful as an experiment control, not as an operating point.
+///
+/// On a trace with **no capability jobs every decision reduces to the
+/// inner mechanism's**, which is what keeps zero-capability runs bitwise
+/// identical to the two-class path (pinned by `tests/capability.rs` and
+/// the `capability` bench binary).
+///
+/// ```
+/// use hws_core::{CapabilityAware, Mechanism, SimConfig, Simulator};
+/// use hws_workload::TraceConfig;
+///
+/// // CUA&SPAA, but capability campaigns are never preemption victims
+/// // and at most two run at once.
+/// let hooks = CapabilityAware::for_mechanism(Mechanism::CUA_SPAA).with_max_running(2);
+/// let cfg = SimConfig::with_hooks(hooks);
+///
+/// let mut tcfg = TraceConfig::tiny();
+/// tcfg.capability_frac = 0.3; // largest 30 % of rigid jobs
+/// let out = Simulator::run_trace(&cfg, &tcfg.generate(1));
+/// assert!(out.metrics.completed_jobs > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CapabilityAware {
+    name: String,
+    inner: Arc<dyn MechanismHooks>,
+    protect_victims: bool,
+    max_running: Option<u32>,
+}
+
+impl CapabilityAware {
+    /// Wrap an arbitrary inner mechanism.
+    pub fn new(inner: impl MechanismHooks + 'static) -> Self {
+        Self::from_arc(Arc::new(inner))
     }
+
+    /// Wrap one of the built-in mechanisms (its standard composition with
+    /// the default victim ordering and shrink strategy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Mechanism::Custom`], which has no built-in composition
+    /// to wrap — use [`CapabilityAware::new`] with the custom hooks.
+    pub fn for_mechanism(m: Mechanism) -> Self {
+        Self::from_arc(standard_composition(
+            m,
+            VictimOrder::Overhead,
+            ShrinkStrategy::EvenWaterFill,
+        ))
+    }
+
+    fn from_arc(inner: Arc<dyn MechanismHooks>) -> Self {
+        CapabilityAware {
+            name: format!("cap[{}]", inner.name()),
+            inner,
+            protect_victims: true,
+            max_running: None,
+        }
+    }
+
+    /// Cap the number of concurrently running capability campaigns.
+    pub fn with_max_running(mut self, cap: u32) -> Self {
+        self.max_running = Some(cap);
+        self
+    }
+
+    /// Let the inner mechanism preempt capability jobs like any other
+    /// victim (disables the shielding half of the policy).
+    pub fn allow_capability_victims(mut self) -> Self {
+        self.protect_victims = false;
+        self
+    }
+
+    /// Whether capability jobs are shielded from victim selection.
+    pub fn protects_victims(&self) -> bool {
+        self.protect_victims
+    }
+
+    /// The configured concurrency cap, when any.
+    pub fn max_running(&self) -> Option<u32> {
+        self.max_running
+    }
+}
+
+impl MechanismHooks for CapabilityAware {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn uses_notices(&self) -> bool {
+        self.inner.uses_notices()
+    }
+
+    fn on_notice(&self, view: &NoticeView) -> NoticeDecision {
+        self.inner.on_notice(view)
+    }
+
+    fn plans_predictions(&self) -> bool {
+        self.inner.plans_predictions()
+    }
+
+    fn plan_for_prediction(&self, view: &PredictionView<'_>) -> CupPlan {
+        if !self.protect_victims
+            || view
+                .candidates
+                .iter()
+                .all(|c| c.class != JobClass::Capability)
+        {
+            return self.inner.plan_for_prediction(view);
+        }
+        let candidates: Vec<CupCandidate> = view
+            .candidates
+            .iter()
+            .filter(|c| c.class != JobClass::Capability)
+            .copied()
+            .collect();
+        self.inner.plan_for_prediction(&PredictionView {
+            candidates: &candidates,
+            ..*view
+        })
+    }
+
+    fn on_arrival(&self, view: &ArrivalView<'_>) -> ArrivalPlan {
+        if !self.protect_victims || view.victims.iter().all(|v| v.class != JobClass::Capability) {
+            return self.inner.on_arrival(view);
+        }
+        let victims: Vec<VictimInfo> = view
+            .victims
+            .iter()
+            .filter(|v| v.class != JobClass::Capability)
+            .copied()
+            .collect();
+        self.inner.on_arrival(&ArrivalView {
+            victims: &victims,
+            ..*view
+        })
+    }
+
+    fn admit(&self, view: &AdmissionView) -> bool {
+        if view.class == JobClass::Capability {
+            if let Some(cap) = self.max_running {
+                if view.running_capability >= cap {
+                    return false;
+                }
+            }
+        }
+        self.inner.admit(view)
+    }
+}
+
+/// The standard composition for one of the built-in mechanisms — the
+/// `{N, CUA, CUP} × {PAA, SPAA}` grid, or an inert composition for the
+/// baseline (which never consults hooks anyway, but the slot is
+/// non-optional). This is the single source of mechanism behavior: both
+/// the driver's enum dispatch and wrappers like [`CapabilityAware`] route
+/// through it.
+///
+/// # Panics
+///
+/// Panics on [`Mechanism::Custom`] — its behavior lives in
+/// [`SimConfig::hooks`], not in any built-in composition.
+pub fn standard_composition(
+    m: Mechanism,
+    victim_order: VictimOrder,
+    shrink_strategy: ShrinkStrategy,
+) -> Arc<dyn MechanismHooks> {
     let paa = PreemptAtArrival {
-        order: cfg.victim_order,
+        order: victim_order,
     };
     let spaa = ShrinkThenPreempt {
-        strategy: cfg.shrink_strategy,
+        strategy: shrink_strategy,
         fallback: paa,
     };
-    let name = cfg.mechanism.name();
-    match cfg.mechanism {
-        // Baseline never consults hooks (`SimCore::hybrid` gates them), but
-        // the slot is non-optional; park an inert composition there.
+    let name = m.name();
+    match m {
         Mechanism::Baseline => Arc::new(Composed::new(name, IgnoreNotices, paa)),
         Mechanism::Hybrid { notice, arrival } => {
             use crate::config::ArrivalStrategy as A;
@@ -357,7 +593,20 @@ pub(crate) fn hooks_for(cfg: &SimConfig) -> Arc<dyn MechanismHooks> {
             }
         }
         Mechanism::Custom => {
-            panic!("Mechanism::Custom requires SimConfig::with_hooks(..)")
+            panic!("Mechanism::Custom has no built-in composition")
         }
     }
+}
+
+/// Build the hooks for a configuration: an explicit [`SimConfig::hooks`]
+/// wins; otherwise the mechanism enum maps onto the standard compositions.
+pub(crate) fn hooks_for(cfg: &SimConfig) -> Arc<dyn MechanismHooks> {
+    if let Some(handle) = &cfg.hooks {
+        return Arc::clone(&handle.0);
+    }
+    assert!(
+        cfg.mechanism != Mechanism::Custom,
+        "Mechanism::Custom requires SimConfig::with_hooks(..)"
+    );
+    standard_composition(cfg.mechanism, cfg.victim_order, cfg.shrink_strategy)
 }

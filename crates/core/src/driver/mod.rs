@@ -33,15 +33,16 @@ mod tests_hooks;
 pub use self::core::SimCore;
 pub use events::Ev;
 pub use hooks::{
-    ArrivalPlan, ArrivalPolicy, ArrivalView, CollectUntilArrival, CollectUntilPredicted, Composed,
-    HooksHandle, IgnoreNotices, MechanismHooks, NoticeDecision, NoticePolicy, NoticeView,
-    PredictionView, PreemptAtArrival, ShrinkThenPreempt,
+    standard_composition, AdmissionView, ArrivalPlan, ArrivalPolicy, ArrivalView, CapabilityAware,
+    CollectUntilArrival, CollectUntilPredicted, Composed, HooksHandle, IgnoreNotices,
+    MechanismHooks, NoticeDecision, NoticePolicy, NoticeView, PredictionView, PreemptAtArrival,
+    ShrinkThenPreempt,
 };
 
 use crate::config::{Mechanism, SimConfig};
 use crate::timeline::Timeline;
 use hws_cluster::{ClusterBackend, Federation};
-use hws_metrics::{Metrics, ShardStat};
+use hws_metrics::{ClassBreakdown, Metrics, ShardStat};
 use hws_sim::{Engine, EngineStats};
 use hws_workload::{Trace, TraceConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -59,6 +60,11 @@ pub struct SimOutcome {
     /// *outside* [`Metrics`] so the 1-shard-federation-vs-single-cluster
     /// metric comparison stays bitwise meaningful.
     pub shards: Option<Vec<ShardStat>>,
+    /// Capability/capacity breakdown, present only when the trace carried
+    /// capability-class jobs. Outside [`Metrics`] for the same reason as
+    /// `shards`: zero-capability runs must compare bitwise against the
+    /// two-class path.
+    pub classes: Option<ClassBreakdown>,
 }
 
 /// Public façade: configure once, replay traces.
@@ -99,6 +105,11 @@ impl Simulator {
             engine: stats,
             mechanism,
             shards: core.shard_report(),
+            // O(1) guard: two-class runs never pay for the breakdown.
+            classes: core
+                .rec
+                .saw_capability()
+                .then(|| ClassBreakdown::compute(&core.rec)),
             timeline: core.cfg.record_timeline.then_some(core.timeline),
         }
     }

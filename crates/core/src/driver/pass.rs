@@ -46,6 +46,15 @@ impl<B: ClusterBackend> SimCore<'_, B> {
         // nodes busy, as §III-B1 intends.
         while pos < ordered.len() {
             let j = ordered[pos];
+            // Per-class admission: a throttled job blocks as the pass
+            // head (reservations and EASY backfill proceed behind it),
+            // exactly like a job the machine cannot fit yet. The default
+            // hook admits everything, so the paper's mechanisms never
+            // branch here.
+            if self.hybrid() && !self.admission_ok(j, now) {
+                head = Some(j);
+                break;
+            }
             let own = self.cluster.reserved_idle_count(j);
             // Per-job availability: free + own-reserved co-located on one
             // shard (on a single cluster, exactly `free_count() + own`).
@@ -124,6 +133,9 @@ impl<B: ClusterBackend> SimCore<'_, B> {
             if self.cfg.easy_backfill {
                 let shadow = self.head_shadow(head_id, now);
                 for &j in &ordered[pos + 1..] {
+                    if self.hybrid() && !self.admission_ok(j, now) {
+                        continue;
+                    }
                     if let Some(size) = self.backfill_size(j, shadow, now) {
                         if self.start_job(j, size, true, now, q) {
                             if self.spec(j).kind == JobKind::OnDemand {
@@ -144,6 +156,20 @@ impl<B: ClusterBackend> SimCore<'_, B> {
         self.scratch.started = started;
         ordered.clear();
         self.scratch.ordered = ordered;
+    }
+
+    /// Consult the per-class admission hook for a waiting job (see
+    /// [`super::hooks::MechanismHooks::admit`]).
+    pub(super) fn admission_ok(&self, j: JobId, now: SimTime) -> bool {
+        let spec = self.spec(j);
+        self.hooks.admit(&super::hooks::AdmissionView {
+            job: j,
+            kind: spec.kind,
+            class: spec.class,
+            size: spec.size,
+            running_capability: self.cap_running,
+            now,
+        })
     }
 
     /// Minimum nodes `j` needs to start (its min size for malleable jobs in

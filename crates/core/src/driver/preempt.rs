@@ -45,6 +45,7 @@ impl<B: ClusterBackend> SimCore<'_, B> {
         let spec = self.spec(j).clone();
         let size = self.st(j).run.as_ref().expect("running").size;
         self.accrue_occupancy(j, now);
+        self.note_run_stopped(j);
         self.rec.job_preempted(j);
         self.log(now, j, TimelineEvent::Preempted);
 

@@ -168,12 +168,14 @@ fn custom_hooks_with_invalid_plan_entries_are_ignored() {
                         nodes: 50,
                         overhead_ns: 0,
                         started: SimTime::ZERO,
+                        class: hws_workload::JobClass::Capacity,
                     },
                     crate::mechanism::VictimInfo {
                         id: hws_workload::JobId(12_345),
                         nodes: 50,
                         overhead_ns: 0,
                         started: SimTime::ZERO,
+                        class: hws_workload::JobClass::Capacity,
                     },
                 ],
             }

@@ -43,9 +43,10 @@ pub use config::{
     ArrivalStrategy, Mechanism, NoticeStrategy, ShrinkStrategy, SimConfig, VictimOrder,
 };
 pub use driver::{
-    ArrivalPlan, ArrivalPolicy, ArrivalView, CollectUntilArrival, CollectUntilPredicted, Composed,
-    HooksHandle, IgnoreNotices, MechanismHooks, NoticeDecision, NoticePolicy, NoticeView,
-    PredictionView, PreemptAtArrival, ShrinkThenPreempt, SimOutcome, Simulator,
+    standard_composition, AdmissionView, ArrivalPlan, ArrivalPolicy, ArrivalView, CapabilityAware,
+    CollectUntilArrival, CollectUntilPredicted, Composed, HooksHandle, IgnoreNotices,
+    MechanismHooks, NoticeDecision, NoticePolicy, NoticeView, PredictionView, PreemptAtArrival,
+    ShrinkThenPreempt, SimOutcome, Simulator,
 };
 pub use failure::FailureConfig;
 pub use policy::PolicyKind;

@@ -6,7 +6,7 @@
 
 use crate::config::{ShrinkStrategy, VictimOrder};
 use hws_sim::SimTime;
-use hws_workload::JobId;
+use hws_workload::{JobClass, JobId};
 use std::collections::BinaryHeap;
 
 /// A running job that PAA may preempt.
@@ -20,6 +20,9 @@ pub struct VictimInfo {
     pub overhead_ns: u64,
     /// Run start (for the `NewestFirst` ablation ordering).
     pub started: SimTime,
+    /// Capability/capacity class: the paper's mechanisms ignore it, but
+    /// capability-aware hooks shield [`JobClass::Capability`] victims.
+    pub class: JobClass,
 }
 
 /// PAA: "lists all currently running malleable and rigid jobs in ascending
@@ -66,6 +69,10 @@ pub struct ShrinkInfo {
     pub id: JobId,
     pub cur: u32,
     pub min: u32,
+    /// Capability/capacity class (capability-aware hooks may exempt
+    /// capability campaigns from shrinking too; the default policy only
+    /// shields them from preemption).
+    pub class: JobClass,
 }
 
 /// SPAA planning: can the running malleable jobs supply `need` nodes by
@@ -200,6 +207,9 @@ pub struct CupCandidate {
     /// the next checkpoint completion for rigid jobs (None = no cheap
     /// point), or `predicted − warning` for malleable jobs.
     pub cheap_preempt_at: Option<SimTime>,
+    /// Capability/capacity class (capability-aware hooks drop capability
+    /// candidates before CUP planning).
+    pub class: JobClass,
 }
 
 /// Build a CUP plan. `shortfall` is the node count still needed after
@@ -273,6 +283,7 @@ mod tests {
             nodes,
             overhead_ns: overhead,
             started: t(id * 10),
+            class: JobClass::Capacity,
         }
     }
 
@@ -356,6 +367,7 @@ mod tests {
             id: j(id),
             cur,
             min,
+            class: JobClass::Capacity,
         }
     }
 
@@ -473,6 +485,7 @@ mod tests {
             expected_end: t(expected_end),
             overhead_ns: overhead,
             cheap_preempt_at: cheap.map(t),
+            class: JobClass::Capacity,
         }
     }
 

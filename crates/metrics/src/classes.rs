@@ -1,0 +1,139 @@
+//! Per-class (capability/capacity) breakdown of a run.
+//!
+//! Deliberately *outside* [`Metrics`](crate::Metrics), like the per-shard
+//! [`ShardStat`](crate::ShardStat) breakdown: the committed `BENCH_*.json`
+//! baselines serialise `Metrics`, and zero-capability runs must stay
+//! byte-identical to the pre-capability two-class path. The breakdown is
+//! attached to the run outcome separately and only surfaced by the
+//! capability-aware reporting paths (`--bin capability`, tests).
+
+use crate::record::Recorder;
+use hws_workload::JobClass;
+
+/// Aggregate statistics of one job class over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassStats {
+    /// Jobs of this class submitted.
+    pub jobs: usize,
+    pub completed: usize,
+    pub killed: usize,
+    /// Mean turnaround over completed jobs of this class, hours.
+    pub avg_turnaround_h: f64,
+    /// Mean queueing delay before first start, hours (completed jobs).
+    pub avg_wait_h: f64,
+    /// Jobs of this class preempted at least once (squatter evictions
+    /// included).
+    pub preempted_jobs: usize,
+    /// Total preemption events absorbed by this class.
+    pub preemption_events: u64,
+}
+
+/// The capability/capacity split of a run's job population.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassBreakdown {
+    pub capacity: ClassStats,
+    pub capability: ClassStats,
+}
+
+impl ClassBreakdown {
+    /// Fold a recorder into the two per-class aggregates. Iterates in
+    /// job-id order so the float sums are deterministic across runs.
+    pub fn compute(rec: &Recorder) -> ClassBreakdown {
+        let mut acc = [(ClassStats::default(), 0.0f64, 0.0f64); 2]; // (stats, tat_sum, wait_sum)
+        let mut sorted: Vec<_> = rec.records().collect();
+        sorted.sort_by_key(|(id, _)| **id);
+        for (_, r) in sorted {
+            let slot = match r.class {
+                JobClass::Capacity => &mut acc[0],
+                JobClass::Capability => &mut acc[1],
+            };
+            slot.0.jobs += 1;
+            if r.preemptions > 0 {
+                slot.0.preempted_jobs += 1;
+            }
+            slot.0.preemption_events += u64::from(r.preemptions);
+            if r.killed {
+                slot.0.killed += 1;
+                continue;
+            }
+            if let Some(tat) = r.turnaround() {
+                slot.0.completed += 1;
+                slot.1 += tat.as_hours_f64();
+                if let Some(w) = r.wait() {
+                    slot.2 += w.as_hours_f64();
+                }
+            }
+        }
+        let finish = |(mut s, tat_sum, wait_sum): (ClassStats, f64, f64)| {
+            if s.completed > 0 {
+                s.avg_turnaround_h = tat_sum / s.completed as f64;
+                s.avg_wait_h = wait_sum / s.completed as f64;
+            }
+            s
+        };
+        ClassBreakdown {
+            capacity: finish(acc[0]),
+            capability: finish(acc[1]),
+        }
+    }
+
+    /// Whether the run saw any capability-class jobs at all.
+    pub fn has_capability(&self) -> bool {
+        self.capability.jobs > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hws_sim::SimTime;
+    use hws_workload::{JobId, JobKind, NoticeCategory};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn splits_by_class() {
+        let mut rec = Recorder::new(100);
+        rec.job_submitted_full(
+            JobId(1),
+            JobKind::Rigid,
+            JobClass::Capability,
+            10,
+            t(0),
+            NoticeCategory::NoNotice,
+        );
+        rec.job_started(JobId(1), t(3_600));
+        rec.job_finished(JobId(1), t(7_200));
+        rec.job_submitted(JobId(2), JobKind::Rigid, 10, t(0));
+        rec.job_started(JobId(2), t(0));
+        rec.job_preempted(JobId(2));
+        rec.job_preempted(JobId(2));
+        rec.job_finished(JobId(2), t(3_600));
+
+        let b = ClassBreakdown::compute(&rec);
+        assert!(b.has_capability());
+        assert_eq!(b.capability.jobs, 1);
+        assert_eq!(b.capability.completed, 1);
+        assert!((b.capability.avg_turnaround_h - 2.0).abs() < 1e-9);
+        assert!((b.capability.avg_wait_h - 1.0).abs() < 1e-9);
+        assert_eq!(b.capability.preempted_jobs, 0);
+        assert_eq!(b.capacity.jobs, 1);
+        assert_eq!(b.capacity.preempted_jobs, 1);
+        assert_eq!(b.capacity.preemption_events, 2);
+    }
+
+    #[test]
+    fn pure_capacity_run_has_no_capability_side() {
+        let mut rec = Recorder::new(10);
+        rec.job_submitted(JobId(1), JobKind::Malleable, 4, t(0));
+        rec.job_started(JobId(1), t(0));
+        rec.job_killed(JobId(1), t(50));
+        let b = ClassBreakdown::compute(&rec);
+        assert!(!b.has_capability());
+        assert_eq!(b.capability, ClassStats::default());
+        assert_eq!(b.capacity.killed, 1);
+        assert_eq!(b.capacity.completed, 0);
+    }
+}

@@ -17,11 +17,13 @@
 //! [`Metrics::compute`] folds the records into the report. `MetricsAvg`
 //! averages reports across seeds the way the paper averages ten traces.
 
+pub mod classes;
 pub mod record;
 pub mod shard;
 pub mod summary;
 pub mod table;
 
+pub use classes::{ClassBreakdown, ClassStats};
 pub use record::{JobRecord, Recorder};
 pub use shard::{ShardStat, ShardTotals};
 pub use summary::{KindStats, Metrics, MetricsAvg};

@@ -2,13 +2,16 @@
 //! driver through narrow callbacks.
 
 use hws_sim::{SimDuration, SimTime};
-use hws_workload::{JobId, JobKind, NoticeCategory};
+use hws_workload::{JobClass, JobId, JobKind, NoticeCategory};
 use std::collections::HashMap;
 
 /// Everything measured about one job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     pub kind: JobKind,
+    /// Capability/capacity class (orthogonal to `kind`; `Capacity` for
+    /// every job of the paper's two-class workload).
+    pub class: JobClass,
     /// Requested size (the maximum for malleable jobs).
     pub size: u32,
     pub submit: SimTime,
@@ -67,6 +70,9 @@ pub struct Recorder {
     last_finish: Option<SimTime>,
     /// Wall-clock cost of each scheduler decision (Observation 10).
     decision_nanos: Vec<u64>,
+    /// Any capability-class job submitted? Lets two-class runs skip the
+    /// per-class breakdown entirely.
+    saw_capability: bool,
 }
 
 impl Recorder {
@@ -79,6 +85,7 @@ impl Recorder {
             first_submit: None,
             last_finish: None,
             decision_nanos: Vec::new(),
+            saw_capability: false,
         }
     }
 
@@ -94,9 +101,26 @@ impl Recorder {
         t: SimTime,
         category: NoticeCategory,
     ) {
+        self.job_submitted_full(id, kind, JobClass::Capacity, size, t, category);
+    }
+
+    /// Full submission record, including the capability/capacity class.
+    /// The narrower `job_submitted*` entry points default to
+    /// [`JobClass::Capacity`].
+    pub fn job_submitted_full(
+        &mut self,
+        id: JobId,
+        kind: JobKind,
+        class: JobClass,
+        size: u32,
+        t: SimTime,
+        category: NoticeCategory,
+    ) {
         self.first_submit = Some(self.first_submit.map_or(t, |f| f.min(t)));
+        self.saw_capability |= class == JobClass::Capability;
         self.records.entry(id).or_insert(JobRecord {
             kind,
+            class,
             size,
             submit: t,
             first_start: None,
@@ -203,19 +227,25 @@ impl Recorder {
         &self.decision_nanos
     }
 
+    /// Whether any capability-class job was submitted — an O(1) guard so
+    /// two-class runs never pay for a per-class breakdown.
+    pub fn saw_capability(&self) -> bool {
+        self.saw_capability
+    }
+
     /// Export one CSV row per job (sorted by id) for external analysis.
     pub fn jobs_csv(&self) -> String {
         let mut rows: Vec<(&JobId, &JobRecord)> = self.records.iter().collect();
         rows.sort_by_key(|(id, _)| **id);
         let mut out = String::from(
             "id,kind,category,size,submit,first_start,finish,wait_s,turnaround_s,\
-preemptions,shrinks,expands,failures,killed\n",
+preemptions,shrinks,expands,failures,killed,class\n",
         );
         for (id, r) in rows {
             use std::fmt::Write as _;
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 id.0,
                 r.kind.label(),
                 r.category.label(),
@@ -232,6 +262,7 @@ preemptions,shrinks,expands,failures,killed\n",
                 r.expands,
                 r.failures,
                 r.killed,
+                r.class.label(),
             );
         }
         out

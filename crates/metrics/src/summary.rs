@@ -294,7 +294,11 @@ impl MetricsAvg {
         self.n
     }
 
-    /// The averaged report. Panics when no samples were pushed.
+    /// The averaged report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no samples were pushed.
     pub fn mean(&self) -> Metrics {
         assert!(self.n > 0, "no samples");
         let a: Vec<f64> = self.sums.iter().map(|s| s / self.n as f64).collect();

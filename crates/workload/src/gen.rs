@@ -26,7 +26,7 @@
 use crate::dist::LogNormal;
 use crate::dist::{weighted_index, Exponential, TruncatedLogNormal, Zipf};
 use crate::ids::{JobId, ProjectId};
-use crate::job::{JobKind, JobSpec, NoticeCategory, NoticeSpec};
+use crate::job::{JobClass, JobKind, JobSpec, NoticeCategory, NoticeSpec};
 use crate::trace::Trace;
 use hws_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -179,6 +179,12 @@ pub struct TraceConfig {
     /// activity otherwise makes the realized load vary strongly across
     /// seeds, whereas the paper evaluates against one fixed real trace.
     pub target_load: Option<f64>,
+    /// Fraction of *rigid jobs* tagged as capability-class campaigns
+    /// ([`crate::job::JobClass::Capability`]), applied after generation by
+    /// [`Trace::tag_capability`] — largest jobs first, RNG-free. The
+    /// default `0.0` reproduces the paper's pure two-class workload
+    /// bitwise (no random stream is consumed either way).
+    pub capability_frac: f64,
 }
 
 impl TraceConfig {
@@ -215,6 +221,7 @@ impl TraceConfig {
             zipf_s: 1.05,
             diurnal: true,
             target_load: Some(0.81),
+            capability_frac: 0.0,
         }
     }
 
@@ -256,6 +263,14 @@ impl TraceConfig {
         self
     }
 
+    /// Tag this fraction of rigid jobs (largest first) as
+    /// capability-class campaigns; see
+    /// [`TraceConfig::capability_frac`].
+    pub fn with_capability_frac(mut self, frac: f64) -> Self {
+        self.capability_frac = frac;
+        self
+    }
+
     /// Doubling size buckets `[lo, hi)` starting at `min_job_size`; the last
     /// bucket is capped at the full machine. At most five buckets (Fig. 3).
     pub fn size_buckets(&self) -> Vec<(u32, u32)> {
@@ -290,6 +305,12 @@ impl TraceConfig {
         self.notice_mix.validate()?;
         if self.min_runtime >= self.max_runtime {
             return Err("bad runtime bounds".into());
+        }
+        if !(0.0..=1.0).contains(&self.capability_frac) {
+            return Err(format!(
+                "capability_frac {} outside 0..=1",
+                self.capability_frac
+            ));
         }
         Ok(())
     }
@@ -440,7 +461,12 @@ impl<'c> Generator<'c> {
         // holds (Trace::validate enforces it).
         let last_submit = jobs.iter().map(|j| j.submit.as_secs()).max().unwrap_or(0);
         let horizon = cfg.horizon.max(SimDuration::from_secs(last_submit + 1));
-        let trace = Trace::new(cfg.system_size, horizon, jobs);
+        let mut trace = Trace::new(cfg.system_size, horizon, jobs);
+        // 7. Capability tagging — deterministic and RNG-free, so a zero
+        //    fraction leaves the trace bitwise identical.
+        if cfg.capability_frac > 0.0 {
+            trace.tag_capability(cfg.capability_frac);
+        }
         debug_assert_eq!(trace.validate(), Ok(()));
         trace
     }
@@ -571,6 +597,7 @@ impl<'c> Generator<'c> {
             notice,
             category,
             site_hint: None,
+            class: JobClass::Capacity,
         }
     }
 
@@ -830,6 +857,39 @@ mod tests {
     }
 
     #[test]
+    fn capability_frac_tags_rigid_jobs_deterministically() {
+        let base = TraceConfig::small();
+        let plain = base.generate(3);
+        let tagged = base.clone().with_capability_frac(0.25).generate(3);
+        // Same jobs, same RNG stream — only the class tags differ.
+        assert_eq!(plain.len(), tagged.len());
+        let n_rigid = tagged.count_kind(JobKind::Rigid);
+        let n_cap = tagged.count_class(crate::job::JobClass::Capability);
+        assert_eq!(n_cap, ((n_rigid as f64) * 0.25).ceil() as usize);
+        for (a, b) in plain.jobs.iter().zip(&tagged.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.work, b.work);
+            if b.class == crate::job::JobClass::Capability {
+                assert_eq!(b.kind, JobKind::Rigid);
+            }
+        }
+        assert!(tagged.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_capability_frac_is_bitwise_identical() {
+        let base = TraceConfig::tiny();
+        let explicit_zero = base.clone().with_capability_frac(0.0).generate(9);
+        assert_eq!(base.generate(9), explicit_zero);
+        assert_eq!(
+            explicit_zero.count_class(crate::job::JobClass::Capability),
+            0
+        );
+    }
+
+    #[test]
     fn config_validation_catches_errors() {
         let mut cfg = TraceConfig::tiny();
         cfg.od_project_frac = 0.9;
@@ -838,5 +898,8 @@ mod tests {
         let mut cfg2 = TraceConfig::tiny();
         cfg2.min_job_size = 0;
         assert!(cfg2.validate().is_err());
+        let mut cfg3 = TraceConfig::tiny();
+        cfg3.capability_frac = 1.5;
+        assert!(cfg3.validate().is_err());
     }
 }

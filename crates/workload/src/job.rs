@@ -41,6 +41,46 @@ impl std::fmt::Display for JobKind {
     }
 }
 
+/// The capability/capacity axis (*More for Less*, arXiv:2501.12464),
+/// orthogonal to [`JobKind`]: `kind` says how a job *executes*
+/// (fixed-size, resizable, time-critical), `class` says what it *is to
+/// the machine* — routine capacity work, or one of the large
+/// capability-predominant campaigns the system exists for. Capability
+/// jobs get their own admission/preemption treatment (they may squat on
+/// reservations but are never chosen as preemption victims under the
+/// default capability-aware policy); on-demand jobs are always capacity
+/// class. Every pre-existing code path sees only [`JobClass::Capacity`],
+/// which is why zero-capability traces replay bitwise identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JobClass {
+    /// Ordinary capacity work (the default; the paper's entire workload).
+    #[default]
+    Capacity,
+    /// Large, deadline-sensitive capability campaign.
+    Capability,
+}
+
+impl JobClass {
+    pub const ALL: [JobClass; 2] = [JobClass::Capacity, JobClass::Capability];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            JobClass::Capacity => "capacity",
+            JobClass::Capability => "capability",
+        }
+    }
+
+    pub fn is_capability(self) -> bool {
+        self == JobClass::Capability
+    }
+}
+
+impl std::fmt::Display for JobClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The four on-demand notice categories of the paper's Fig. 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NoticeCategory {
@@ -119,6 +159,11 @@ pub struct JobSpec {
     /// decide. A hint naming a shard too small for the job is ignored.
     /// In-memory only: the CSV/SWF interchange formats do not carry it.
     pub site_hint: Option<u32>,
+    /// Capability/capacity class (see [`JobClass`]). `Capacity` for every
+    /// job the two-class model knows; `Capability` only when a generator
+    /// knob or [`crate::Trace::tag_capability`] tagged the job. Carried by
+    /// the CSV and embedded-SWF interchange formats.
+    pub class: JobClass,
 }
 
 impl JobSpec {
@@ -152,8 +197,26 @@ impl JobSpec {
         self.kind == JobKind::Rigid
     }
 
+    pub fn is_capability(&self) -> bool {
+        self.class == JobClass::Capability
+    }
+
     /// Basic self-consistency check used by tests and the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant: sizes out of range, `min_size` inconsistencies, zero
+    /// work, `estimate < work`, notice/category mismatches, or a
+    /// capability-class on-demand job (on-demand traffic is always
+    /// capacity class).
     pub fn validate(&self, system_size: u32) -> Result<(), String> {
+        if self.class == JobClass::Capability && self.kind == JobKind::OnDemand {
+            return Err(format!(
+                "{}: on-demand jobs cannot be capability class",
+                self.id
+            ));
+        }
         if self.size == 0 || self.size > system_size {
             return Err(format!("{}: size {} out of range", self.id, self.size));
         }
@@ -240,6 +303,7 @@ impl JobSpecBuilder {
                 notice: None,
                 category: NoticeCategory::NoNotice,
                 site_hint: None,
+                class: JobClass::Capacity,
             },
         }
     }
@@ -305,6 +369,22 @@ impl JobSpecBuilder {
     /// Prefer a federation shard (see [`JobSpec::site_hint`]).
     pub fn site_hint(mut self, shard: u32) -> Self {
         self.spec.site_hint = Some(shard);
+        self
+    }
+
+    /// Tag the job as a capability-class campaign (see [`JobClass`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for on-demand jobs — on-demand traffic is always capacity
+    /// class ([`JobSpec::validate`] enforces the same invariant).
+    pub fn capability(mut self) -> Self {
+        assert_ne!(
+            self.spec.kind,
+            JobKind::OnDemand,
+            "on-demand jobs cannot be capability class"
+        );
+        self.spec.class = JobClass::Capability;
         self
     }
 
@@ -428,5 +508,41 @@ mod tests {
         assert_eq!(JobKind::Rigid.to_string(), "rigid");
         assert_eq!(JobKind::OnDemand.label(), "on-demand");
         assert_eq!(NoticeCategory::Late.label(), "late");
+        assert_eq!(JobClass::Capability.to_string(), "capability");
+        assert_eq!(JobClass::Capacity.label(), "capacity");
+    }
+
+    #[test]
+    fn default_class_is_capacity() {
+        let j = JobSpecBuilder::rigid(1).size(8).build();
+        assert_eq!(j.class, JobClass::Capacity);
+        assert!(!j.is_capability());
+    }
+
+    #[test]
+    fn capability_builder_tags_and_validates() {
+        let j = JobSpecBuilder::rigid(1).size(64).capability().build();
+        assert!(j.is_capability());
+        assert!(j.validate(128).is_ok());
+        let m = JobSpecBuilder::malleable(2)
+            .size(32)
+            .min_size(8)
+            .capability()
+            .build();
+        assert!(m.validate(128).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_capability_on_demand() {
+        let mut j = JobSpecBuilder::on_demand(1).size(8).build();
+        j.class = JobClass::Capability;
+        let err = j.validate(128).unwrap_err();
+        assert!(err.contains("capability"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "on-demand jobs cannot be capability")]
+    fn capability_builder_rejects_on_demand() {
+        let _ = JobSpecBuilder::on_demand(1).capability();
     }
 }

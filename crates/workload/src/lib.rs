@@ -26,6 +26,6 @@ pub mod trace;
 
 pub use gen::{NoticeMix, TraceConfig};
 pub use ids::{JobId, ProjectId};
-pub use job::{JobKind, JobSpec, NoticeCategory, NoticeSpec};
+pub use job::{JobClass, JobKind, JobSpec, NoticeCategory, NoticeSpec};
 pub use swf::{import_swf, import_swf_reader, to_swf, SwfError, SwfExportConfig, SwfImportConfig};
 pub use trace::Trace;

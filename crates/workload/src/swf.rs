@@ -46,7 +46,7 @@
 //! |---|---|
 //! | 10 (requested memory) | [`NoticeCategory`] code 0–3 |
 //! | 14 (executable number) | setup seconds |
-//! | 15 (queue number) | [`JobKind`] code 1=rigid, 2=on-demand, 3=malleable |
+//! | 15 (queue number) | [`JobKind`] code 1=rigid, 2=on-demand, 3=malleable; +4 tags the job [`JobClass::Capability`] (5=rigid, 7=malleable; 6 is rejected — on-demand jobs are always capacity class) |
 //! | 16 (partition number) | malleable minimum size (nodes) |
 //! | 17 (preceding job) | notice time (s), −1 when no notice |
 //! | 18 (think time) | predicted arrival (s), −1 when no notice |
@@ -57,7 +57,7 @@
 
 use crate::gen::NoticeMix;
 use crate::ids::{JobId, ProjectId};
-use crate::job::{JobKind, JobSpec, NoticeCategory, NoticeSpec};
+use crate::job::{JobClass, JobKind, JobSpec, NoticeCategory, NoticeSpec};
 use crate::trace::Trace;
 use hws_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -188,6 +188,12 @@ fn field_num(f: &[&str], i: usize, ln: usize, what: &str) -> Result<i64, SwfErro
 
 /// Parse SWF text into a [`Trace`]. Thin wrapper over the streaming
 /// [`import_swf_reader`] for already-in-memory text.
+///
+/// # Errors
+///
+/// Returns a line-tagged [`SwfError`] for malformed data lines, unknown
+/// embedded codes, or an imported trace that fails [`Trace::validate`]
+/// (line 0).
 pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> {
     import_swf_reader(text.as_bytes(), cfg)
 }
@@ -196,6 +202,12 @@ pub fn import_swf(text: &str, cfg: &SwfImportConfig) -> Result<Trace, SwfError> 
 /// `;` are skipped; malformed lines are errors) and applies the paper's
 /// type-assignment protocol — or, for files carrying the `HWS-Embedded`
 /// header, reconstructs the exported trace verbatim.
+///
+/// # Errors
+///
+/// Returns a line-tagged [`SwfError`] for IO failures, malformed data
+/// lines, unknown embedded kind/category/class codes, or an imported
+/// trace that fails [`Trace::validate`] (reported as line 0).
 pub fn import_swf_reader<R: BufRead>(reader: R, cfg: &SwfImportConfig) -> Result<Trace, SwfError> {
     let mut raws: Vec<RawJob> = Vec::new();
     let mut embedded_jobs: Vec<JobSpec> = Vec::new();
@@ -324,10 +336,17 @@ fn parse_embedded_line(line: &str, ln: usize) -> Result<JobSpec, SwfError> {
     if id < 1 {
         return Err(err(format!("embedded job number must be ≥1, got {id}")));
     }
-    let kind = match field_num(&f, 14, ln, "kind (queue)")? {
-        1 => JobKind::Rigid,
-        2 => JobKind::OnDemand,
-        3 => JobKind::Malleable,
+    let (kind, class) = match field_num(&f, 14, ln, "kind (queue)")? {
+        1 => (JobKind::Rigid, JobClass::Capacity),
+        2 => (JobKind::OnDemand, JobClass::Capacity),
+        3 => (JobKind::Malleable, JobClass::Capacity),
+        5 => (JobKind::Rigid, JobClass::Capability),
+        6 => {
+            return Err(err(
+                "on-demand jobs cannot be capability class (code 6)".into()
+            ))
+        }
+        7 => (JobKind::Malleable, JobClass::Capability),
         other => return Err(err(format!("unknown embedded kind code {other}"))),
     };
     let category = match field_num(&f, 9, ln, "category (req mem)")? {
@@ -370,6 +389,7 @@ fn parse_embedded_line(line: &str, ln: usize) -> Result<JobSpec, SwfError> {
         notice,
         category,
         site_hint: None,
+        class,
     })
 }
 
@@ -458,6 +478,7 @@ fn assign_classes(raws: Vec<RawJob>, cfg: &SwfImportConfig, system_size: u32) ->
             notice,
             category,
             site_hint: None,
+            class: JobClass::Capacity,
         });
     }
     jobs.sort_by_key(|j| (j.submit, j.id));
@@ -542,10 +563,17 @@ pub fn to_swf(trace: &Trace, cfg: &SwfExportConfig) -> String {
     for (pos, j) in trace.jobs.iter().enumerate() {
         let procs = u64::from(j.size) * u64::from(ppn);
         if cfg.embed_classes {
+            // Capability-class jobs shift the kind code by 4; a capacity
+            // trace writes exactly the pre-capability codes, keeping old
+            // embedded exports byte-identical.
             let kind_code = match j.kind {
                 JobKind::Rigid => 1,
                 JobKind::OnDemand => 2,
                 JobKind::Malleable => 3,
+            } + if j.class == JobClass::Capability {
+                4
+            } else {
+                0
             };
             let cat_code = match j.category {
                 NoticeCategory::NoNotice => 0,
@@ -987,5 +1015,56 @@ mod tests {
         let mut swf = String::from("; HWS-Embedded: 1\n; HWS-SystemSize: 64\n");
         swf.push_str("1 0 -1 100 4 -1 -1 4 200 0 1 0 0 0 9 4 -1 -1\n"); // kind 9
         assert!(import_swf(&swf, &cfg()).is_err());
+    }
+
+    #[test]
+    fn embedded_round_trips_capability_tags() {
+        let mut tr = TraceConfig::tiny().generate(3);
+        let tagged = tr.tag_capability(0.5);
+        assert!(tagged > 0, "tiny seed 3 must have rigid jobs");
+        let swf = to_swf(&tr, &SwfExportConfig::default());
+        let back = import_swf(&swf, &cfg()).expect("re-import");
+        assert_eq!(tr, back);
+        assert_eq!(back.count_class(crate::job::JobClass::Capability), tagged);
+        assert_eq!(to_swf(&back, &SwfExportConfig::default()), swf);
+    }
+
+    #[test]
+    fn zero_capability_embedded_export_is_unchanged() {
+        // A capacity-only trace must serialise exactly as it did before
+        // the capability class existed (kind codes 1–3 only).
+        let tr = TraceConfig::tiny().generate(3);
+        let swf = to_swf(&tr, &SwfExportConfig::default());
+        for line in swf.lines().filter(|l| !l.starts_with(';')) {
+            let code: i64 = line.split_whitespace().nth(14).unwrap().parse().unwrap();
+            assert!((1..=3).contains(&code), "unexpected kind code in {line}");
+        }
+    }
+
+    #[test]
+    fn embedded_rejects_capability_on_demand_code() {
+        let mut swf = String::from("; HWS-Embedded: 1\n; HWS-SystemSize: 64\n");
+        swf.push_str("1 0 -1 100 4 -1 -1 4 200 0 1 0 0 0 6 4 -1 -1\n"); // code 6
+        let err = import_swf(&swf, &cfg()).unwrap_err();
+        assert!(err.message.contains("capability"), "{err}");
+    }
+
+    #[test]
+    fn plain_export_drops_capability_tags() {
+        let mut tr = TraceConfig::tiny().generate(7);
+        tr.tag_capability(1.0);
+        let plain = to_swf(
+            &tr,
+            &SwfExportConfig {
+                embed_classes: false,
+                procs_per_node: 1,
+            },
+        );
+        let c = SwfImportConfig {
+            system_size: tr.system_size,
+            ..SwfImportConfig::default()
+        };
+        let back = import_swf(&plain, &c).expect("re-import");
+        assert_eq!(back.count_class(crate::job::JobClass::Capability), 0);
     }
 }

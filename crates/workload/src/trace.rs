@@ -2,7 +2,7 @@
 //! be archived, inspected, and replayed byte-identically.
 
 use crate::ids::{JobId, ProjectId};
-use crate::job::{JobKind, JobSpec, NoticeCategory, NoticeSpec};
+use crate::job::{JobClass, JobKind, JobSpec, NoticeCategory, NoticeSpec};
 use hws_sim::{SimDuration, SimTime};
 use std::fmt::Write as _;
 
@@ -43,8 +43,68 @@ impl Trace {
         self.iter_kind(kind).count()
     }
 
+    pub fn iter_class(&self, class: JobClass) -> impl Iterator<Item = &JobSpec> {
+        self.jobs.iter().filter(move |j| j.class == class)
+    }
+
+    pub fn count_class(&self, class: JobClass) -> usize {
+        self.iter_class(class).count()
+    }
+
+    /// Tag the largest rigid jobs as capability-class campaigns: the top
+    /// `ceil(frac × rigid_jobs)` rigid jobs ordered by descending
+    /// `(size, work)` (ties by id) become [`JobClass::Capability`].
+    ///
+    /// Deterministic and RNG-free — tagging consumes no random stream, so
+    /// a `frac` of `0.0` leaves the trace (and every downstream replay)
+    /// bitwise identical to the untagged one. This is both the
+    /// generator's `capability_frac` implementation and the synthetic
+    /// capability injection used to replay real SWF logs (which carry no
+    /// class information) under capability/capacity co-scheduling.
+    ///
+    /// Returns the number of jobs tagged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frac` is outside `0.0..=1.0`.
+    pub fn tag_capability(&mut self, frac: f64) -> usize {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "capability fraction {frac} outside 0..=1"
+        );
+        if frac == 0.0 {
+            return 0;
+        }
+        let mut rigid: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.kind == JobKind::Rigid)
+            .map(|(i, _)| i)
+            .collect();
+        rigid.sort_by_key(|&i| {
+            let j = &self.jobs[i];
+            (
+                std::cmp::Reverse(j.size),
+                std::cmp::Reverse(j.work.as_secs()),
+                j.id,
+            )
+        });
+        let n = ((rigid.len() as f64) * frac).ceil().min(rigid.len() as f64) as usize;
+        for &i in &rigid[..n] {
+            self.jobs[i].class = JobClass::Capability;
+        }
+        n
+    }
+
     /// Validate every job, the global ordering invariant, and the horizon
     /// invariant (every submission falls inside the horizon).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found: a per-job
+    /// [`JobSpec::validate`] failure, jobs out of `(submit, id)` order,
+    /// or a submission at/after the horizon.
     pub fn validate(&self) -> Result<(), String> {
         for w in self.jobs.windows(2) {
             if (w[0].submit, w[0].id) > (w[1].submit, w[1].id) {
@@ -75,7 +135,7 @@ impl Trace {
             self.horizon.as_secs()
         );
         out.push_str(
-            "id,project,kind,submit,size,min_size,work,estimate,setup,category,notice_time,predicted_arrival\n",
+            "id,project,kind,submit,size,min_size,work,estimate,setup,category,notice_time,predicted_arrival,class\n",
         );
         for j in &self.jobs {
             let (nt, pa) = match &j.notice {
@@ -87,7 +147,7 @@ impl Trace {
             };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 j.id.0,
                 j.project.0,
                 j.kind.label(),
@@ -99,13 +159,22 @@ impl Trace {
                 j.setup.as_secs(),
                 j.category.label(),
                 nt,
-                pa
+                pa,
+                j.class.label()
             );
         }
         out
     }
 
     /// Parse the CSV interchange format produced by [`Trace::to_csv`].
+    /// Rows may omit the trailing `class` column (pre-capability exports);
+    /// such jobs default to [`JobClass::Capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-tagged message for missing/unknown headers,
+    /// wrong field counts, unparsable numbers, or unknown
+    /// kind/category/class labels.
     pub fn from_csv(text: &str) -> Result<Trace, String> {
         let mut lines = text.lines();
         let meta = lines.next().ok_or("empty trace file")?;
@@ -137,9 +206,9 @@ impl Trace {
                 continue;
             }
             let f: Vec<&str> = line.split(',').collect();
-            if f.len() != 12 {
+            if f.len() != 12 && f.len() != 13 {
                 return Err(format!(
-                    "line {}: expected 12 fields, got {}",
+                    "line {}: expected 12 or 13 fields, got {}",
                     ln + 3,
                     f.len()
                 ));
@@ -173,6 +242,11 @@ impl Trace {
                     predicted_arrival: SimTime::from_secs(parse_u64(f[11], "predicted_arrival")?),
                 })
             };
+            let class = match f.get(12).copied() {
+                None | Some("capacity") => JobClass::Capacity,
+                Some("capability") => JobClass::Capability,
+                Some(other) => return Err(format!("line {}: unknown class {other}", ln + 3)),
+            };
             jobs.push(JobSpec {
                 id: JobId(parse_u64(f[0], "id")?),
                 project: ProjectId(parse_u32(f[1], "project")?),
@@ -186,6 +260,7 @@ impl Trace {
                 notice,
                 category,
                 site_hint: None,
+                class,
             });
         }
         Ok(Trace::new(system_size, horizon, jobs))
@@ -266,6 +341,93 @@ mod tests {
         let mut tr = sample_trace();
         tr.jobs.swap(0, 2);
         assert!(tr.validate().is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_capability_class() {
+        let mut tr = sample_trace();
+        let tagged = tr.tag_capability(1.0);
+        assert_eq!(tagged, 1); // one rigid job in the sample
+        let back = Trace::from_csv(&tr.to_csv()).expect("parse");
+        assert_eq!(tr, back);
+        assert_eq!(back.count_class(JobClass::Capability), 1);
+    }
+
+    #[test]
+    fn csv_without_class_column_defaults_to_capacity() {
+        // Pre-capability exports had 12 fields; they must still parse.
+        let tr = sample_trace();
+        let csv: String = tr
+            .to_csv()
+            .lines()
+            .map(|l| {
+                let stripped = l
+                    .strip_suffix(",capacity")
+                    .or_else(|| l.strip_suffix(",class"))
+                    .unwrap_or(l);
+                format!("{stripped}\n")
+            })
+            .collect();
+        let back = Trace::from_csv(&csv).expect("12-field rows parse");
+        assert_eq!(back.count_class(JobClass::Capability), 0);
+        assert_eq!(back.len(), tr.len());
+    }
+
+    #[test]
+    fn csv_rejects_unknown_class() {
+        let tr = sample_trace();
+        let csv = tr.to_csv().replace(",capacity", ",warpdrive");
+        let err = Trace::from_csv(&csv).unwrap_err();
+        assert!(err.contains("unknown class"), "{err}");
+    }
+
+    #[test]
+    fn tag_capability_picks_largest_rigid_jobs() {
+        let jobs = vec![
+            JobSpecBuilder::rigid(0)
+                .size(64)
+                .work(SimDuration::from_hours(1))
+                .build(),
+            JobSpecBuilder::rigid(1)
+                .size(512)
+                .work(SimDuration::from_hours(1))
+                .build(),
+            JobSpecBuilder::rigid(2)
+                .size(128)
+                .work(SimDuration::from_hours(1))
+                .build(),
+            JobSpecBuilder::malleable(3).size(900).build(),
+            JobSpecBuilder::on_demand(4).size(900).build(),
+        ];
+        let mut tr = Trace::new(1_000, SimDuration::from_days(1), jobs);
+        // Half of the 3 rigid jobs → ceil(1.5) = 2 tagged: sizes 512, 128.
+        assert_eq!(tr.tag_capability(0.5), 2);
+        let tagged: Vec<u64> = tr
+            .iter_class(JobClass::Capability)
+            .map(|j| j.id.0)
+            .collect();
+        assert_eq!(tagged, vec![1, 2]);
+        // Malleable/on-demand jobs are never tagged, however large.
+        assert_eq!(
+            tr.jobs.iter().find(|j| j.id.0 == 3).unwrap().class,
+            JobClass::Capacity
+        );
+        assert!(tr.validate().is_ok());
+    }
+
+    #[test]
+    fn tag_capability_zero_is_a_no_op() {
+        let mut tr = sample_trace();
+        let before = tr.clone();
+        assert_eq!(tr.tag_capability(0.0), 0);
+        assert_eq!(tr, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 0..=1")]
+    fn tag_capability_rejects_bad_fraction() {
+        let mut tr = sample_trace();
+        tr.tag_capability(1.5);
     }
 
     #[test]

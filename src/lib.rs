@@ -67,15 +67,19 @@ pub mod prelude {
         LeaseLedger, LeastLoaded, NodeId, PlacementPolicy, ShardSpec,
     };
     pub use hws_core::{
-        ArrivalPlan, ArrivalPolicy, ArrivalStrategy, ArrivalView, CkptConfig, CollectUntilArrival,
-        CollectUntilPredicted, Composed, IgnoreNotices, Mechanism, MechanismHooks, NoticeDecision,
-        NoticePolicy, NoticeStrategy, NoticeView, PolicyKind, PredictionView, PreemptAtArrival,
-        ShrinkStrategy, ShrinkThenPreempt, SimConfig, SimOutcome, Simulator, VictimOrder,
+        AdmissionView, ArrivalPlan, ArrivalPolicy, ArrivalStrategy, ArrivalView, CapabilityAware,
+        CkptConfig, CollectUntilArrival, CollectUntilPredicted, Composed, IgnoreNotices, Mechanism,
+        MechanismHooks, NoticeDecision, NoticePolicy, NoticeStrategy, NoticeView, PolicyKind,
+        PredictionView, PreemptAtArrival, ShrinkStrategy, ShrinkThenPreempt, SimConfig, SimOutcome,
+        Simulator, VictimOrder,
     };
-    pub use hws_metrics::{Metrics, MetricsAvg, Recorder, ShardStat, ShardTotals, Table};
+    pub use hws_metrics::{
+        ClassBreakdown, ClassStats, Metrics, MetricsAvg, Recorder, ShardStat, ShardTotals, Table,
+    };
     pub use hws_sim::{SimDuration, SimTime};
     pub use hws_workload::{
-        job::JobSpecBuilder, JobId, JobKind, JobSpec, NoticeCategory, NoticeMix, Trace, TraceConfig,
+        job::JobSpecBuilder, JobClass, JobId, JobKind, JobSpec, NoticeCategory, NoticeMix, Trace,
+        TraceConfig,
     };
 }
 
