@@ -1,0 +1,76 @@
+//! Microbench of the event-queue kernel: steady-state push/pop churn (the
+//! per-event cost every simulated second pays), bulk drains, and the
+//! arrival-lane seeding used by streaming replay. The alloc-budget tests
+//! (`hws-core --features count-allocs`) prove the warm paths allocation-
+//! free; this bench tracks their cycle cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hws_sim::{EventQueue, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+
+    for occupancy in [64u64, 1_024, 16_384] {
+        g.bench_function(format!("push_pop_churn/{occupancy}_resident"), |b| {
+            // Warm a queue to the target occupancy; the churn loop then
+            // holds it there, so heap and ring storage never regrow.
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..occupancy {
+                q.schedule(SimTime::from_secs(i + 1), i);
+            }
+            let mut now = occupancy + 1;
+            b.iter(|| {
+                // Times keep advancing: the queue's watermark forbids
+                // scheduling in the causal past.
+                for i in 0..8u64 {
+                    q.schedule(SimTime::from_secs(now + occupancy + i), i);
+                }
+                now += 8;
+                for _ in 0..8 {
+                    black_box(q.pop());
+                }
+            });
+        });
+    }
+
+    g.bench_function("seed_and_drain/4096_dynamic", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..4_096u64 {
+                    q.schedule(SimTime::from_secs((i * 37) % 86_400 + 1), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("seed_and_drain/4096_arrival_lane", |b| {
+        // The streaming pump's path: arrivals enter through the dedicated
+        // lane (whose sequence numbers order them before same-instant
+        // dynamic events) in trace order, i.e. non-decreasing times.
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..4_096u64 {
+                    q.schedule_arrival(SimTime::from_secs(i / 4 + 1), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

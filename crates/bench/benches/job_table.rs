@@ -1,0 +1,61 @@
+//! Microbench of the arena-backed job table: the sliding admit/retire
+//! window streaming replay runs a million times per archive, plus the
+//! id-to-slot lookups every event handler performs. Companion to the
+//! allocation-freedom proofs in `hws-core`'s `alloc_budget` tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hws_core::JobTable;
+use hws_sim::SimDuration;
+use hws_workload::job::JobSpecBuilder;
+use hws_workload::JobId;
+use std::hint::black_box;
+
+fn spec(id: u64) -> hws_workload::JobSpec {
+    JobSpecBuilder::rigid(id)
+        .size(64)
+        .work(SimDuration::from_secs(600))
+        .estimate(SimDuration::from_secs(1_200))
+        .build()
+}
+
+fn bench_job_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("job_table");
+
+    for window in [64u64, 512, 4_096] {
+        g.bench_function(format!("admit_retire_window/{window}_live"), |b| {
+            // Hold `window` jobs live; each iteration admits one and
+            // retires the oldest, recycling one arena slot — the
+            // steady-state of streaming replay at that live-set size.
+            let mut t = JobTable::new();
+            for id in 0..window {
+                t.admit(spec(id));
+            }
+            let mut next = window;
+            b.iter(|| {
+                t.admit(spec(next));
+                t.retire(JobId(next - window));
+                next += 1;
+                black_box(t.live())
+            });
+        });
+    }
+
+    g.bench_function("state_lookup/1024_live", |b| {
+        let mut t = JobTable::new();
+        for id in 0..1_024u64 {
+            t.admit(spec(id));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            // Stride through the id space so the open-addressed index is
+            // probed at varied offsets, not one hot slot.
+            i = (i + 631) % 1_024;
+            black_box(t.state(JobId(i)).id)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_job_table);
+criterion_main!(benches);

@@ -23,6 +23,14 @@
 //!   columns (`source`, `mechanism`, `jobs`, `seeds`,
 //!   `metrics_fingerprint`, `avg_turnaround_h`, `utilization`); the
 //!   wall-clock columns legitimately vary between machines.
+//! * `BENCH_archive_replay.json` — field-wise on the deterministic
+//!   columns (`jobs`, `seeds`, `events`, `metrics_fingerprint`,
+//!   `peak_resident_jobs`), row-matched by `(profile, mechanism)`.
+//!   Committed rows with no regenerated counterpart are skipped with a
+//!   note: CI regenerates only the quick profile (`HWS_SCALE=quick`), so
+//!   the million-job `full` rows are exercised only when the baseline is
+//!   re-recorded. A missing regen file skips the whole comparison the
+//!   same way, keeping the binary usable on partial regen directories.
 //!
 //! `BENCH_decision_latency.json` is pure wall-clock and is *not* gated.
 
@@ -38,6 +46,16 @@ const THROUGHPUT_KEYS: [&str; 7] = [
     "metrics_fingerprint",
     "avg_turnaround_h",
     "utilization",
+];
+
+/// Deterministic columns of the archive-replay baseline (the remaining
+/// columns — throughput and RSS — are wall-clock).
+const ARCHIVE_KEYS: [&str; 5] = [
+    "jobs",
+    "seeds",
+    "events",
+    "metrics_fingerprint",
+    "peak_resident_jobs",
 ];
 
 fn main() {
@@ -63,6 +81,12 @@ fn main() {
     ) {
         failures.push(("BENCH_simulator_throughput.json", e));
     }
+    if let Err(e) = compare_archive(
+        &root.join("BENCH_archive_replay.json"),
+        &regen_dir.join("BENCH_archive_replay.json"),
+    ) {
+        failures.push(("BENCH_archive_replay.json", e));
+    }
 
     if failures.is_empty() {
         println!("baseline-parity: all committed BENCH_*.json baselines reproduced");
@@ -79,6 +103,7 @@ fn main() {
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin throughput\n\
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin federated\n\
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin capability\n\
+         \tHWS_SCALE=full HWS_SEEDS=2 cargo run --release -p hws-bench --bin archive_replay\n\
          \n\
          (each binary rewrites its BENCH_*.json at the workspace root), and explain the\n\
          metric movement in the PR description. If the drift is *unintended*, the change\n\
@@ -142,6 +167,65 @@ fn compare_throughput(committed: &Path, regenerated: &Path) -> Result<(), String
                 ));
             }
         }
+    }
+    Ok(())
+}
+
+/// Archive-replay parity: deterministic fields, row-matched by
+/// `(profile, mechanism)`. Regeneration is allowed to be partial (see the
+/// module docs): committed-only rows and a missing regen file are skipped
+/// with a note, but a regenerated row must have a committed counterpart
+/// and match it on every deterministic column.
+fn compare_archive(committed: &Path, regenerated: &Path) -> Result<(), String> {
+    let committed_json = read(committed)?;
+    let regenerated_json = match read(regenerated) {
+        Ok(json) => json,
+        Err(_) => {
+            println!(
+                "baseline-parity: note: {} not regenerated; skipping archive comparison",
+                regenerated.display()
+            );
+            return Ok(());
+        }
+    };
+    let key_of = |row: &&str| -> (String, String) {
+        (
+            field(row, "profile").unwrap_or("<missing>").to_string(),
+            field(row, "mechanism").unwrap_or("<missing>").to_string(),
+        )
+    };
+    let committed_rows = rows(&committed_json);
+    for rb in rows(&regenerated_json) {
+        let key = key_of(&rb);
+        let Some(ra) = committed_rows.iter().find(|ra| key_of(ra) == key) else {
+            return Err(format!(
+                "regenerated row {key:?} has no committed counterpart"
+            ));
+        };
+        for col in ARCHIVE_KEYS {
+            let va = field(ra, col);
+            let vb = field(rb, col);
+            if va != vb {
+                return Err(format!(
+                    "row {key:?}: {col} drifted\n  committed:   {}\n  regenerated: {}",
+                    va.unwrap_or("<missing>"),
+                    vb.unwrap_or("<missing>")
+                ));
+            }
+        }
+    }
+    let unchecked = committed_rows
+        .iter()
+        .filter(|ra| {
+            let key = key_of(ra);
+            !rows(&regenerated_json).iter().any(|rb| key_of(rb) == key)
+        })
+        .count();
+    if unchecked > 0 {
+        println!(
+            "baseline-parity: note: {unchecked} committed archive rows (full profile) \
+             not regenerated; checked the rest"
+        );
     }
     Ok(())
 }

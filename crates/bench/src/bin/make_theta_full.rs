@@ -1,0 +1,48 @@
+//! **Archive generator** — materialize the synthetic `theta_full` /
+//! `theta_quick` streaming corpora on demand (they are never committed;
+//! each is a pure function of `(profile, seed)` and lands under
+//! `target/archives`, or `HWS_ARCHIVE_DIR`).
+//!
+//! ```text
+//! cargo run --release -p hws-bench --bin make_theta_full            # full, seeds 0..2
+//! cargo run --release -p hws-bench --bin make_theta_full -- quick   # CI-sized profile
+//! HWS_SEEDS=4 cargo run --release -p hws-bench --bin make_theta_full
+//! ```
+//!
+//! Existing archives are reused (generation is deterministic, so they can
+//! only be byte-identical); delete the archive directory to force a
+//! rebuild.
+
+use hws_bench::{ensure_archive, seeds_from_env_or, ArchiveProfile};
+use std::time::Instant;
+
+fn main() {
+    let profile = match std::env::args().nth(1).as_deref() {
+        None | Some("full") => ArchiveProfile::Full,
+        Some("quick") => ArchiveProfile::Quick,
+        Some(other) => {
+            eprintln!("unknown profile {other:?}: expected \"quick\" or \"full\"");
+            std::process::exit(2);
+        }
+    };
+    let seeds = seeds_from_env_or(2);
+    let cfg = profile.trace_config();
+    eprintln!(
+        "theta_{}: {} jobs over {} days on {} nodes, seeds 0..{seeds}",
+        profile.name(),
+        cfg.target_jobs,
+        cfg.horizon.as_secs() / 86_400,
+        cfg.system_size
+    );
+    for seed in 0..seeds {
+        let t0 = Instant::now();
+        let path = ensure_archive(profile, seed);
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "seed {seed}: {} ({:.1} MiB, {:.1}s)",
+            path.display(),
+            bytes as f64 / (1024.0 * 1024.0),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -18,6 +18,12 @@
 //!   the paper's "ten randomly generated traces" protocol). `HWS_SWF_PPN`
 //!   sets processors per node for logs that count processors.
 
+pub mod archive;
+
+pub use archive::{
+    archive_dir, archive_path, ensure_archive, peak_rss_bytes, reset_peak_rss, ArchiveProfile,
+};
+
 use hws_core::{Mechanism, SimConfig, SimOutcome, Simulator};
 use hws_metrics::{Metrics, MetricsAvg};
 use hws_sim::SimDuration;
@@ -69,10 +75,17 @@ impl Scale {
 /// Seeds per experiment cell (`HWS_SEEDS`, default 10 — "we repeat the same
 /// experiment on ten randomly generated traces").
 pub fn seeds_from_env() -> u64 {
+    seeds_from_env_or(10)
+}
+
+/// `HWS_SEEDS` with a caller-chosen default, for binaries whose natural
+/// seed count differs from the paper's 10 (the million-job archive replay
+/// records 2).
+pub fn seeds_from_env_or(default: u64) -> u64 {
     std::env::var("HWS_SEEDS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(10)
+        .unwrap_or(default)
 }
 
 /// Where a figure binary gets its per-seed traces from: the calibrated
@@ -356,6 +369,27 @@ mod tests {
             assert_eq!(out.metrics, sequential.metrics, "seed {seed}");
             assert_eq!(out.engine, sequential.engine, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn fixture_streams_identically_to_materialized() {
+        // The streaming-replay contract on the *bundled* corpus rather
+        // than a generated one: import the plain fixture (which runs the
+        // §IV-A class protocol), re-export it embedded, stream it back,
+        // and require the bitwise outcome of the materialized replay.
+        let src = TraceSource::swf(bundled_swf_fixture(), SwfImportConfig::default());
+        let trace = src.make_trace(0);
+        let swf = hws_workload::to_swf(&trace, &hws_workload::SwfExportConfig::default());
+        let mut cfg = SimConfig::with_mechanism(Mechanism::CUP_SPAA);
+        cfg.measure_decisions = false;
+        let materialized = Simulator::run_trace(&cfg, &trace);
+        let streamed = Simulator::run_source(
+            &cfg,
+            hws_workload::SwfStreamSource::from_reader(swf.as_bytes()).expect("own export"),
+        );
+        assert_eq!(materialized.metrics, streamed.metrics);
+        assert_eq!(materialized.engine, streamed.engine);
+        assert_eq!(streamed.admitted_jobs, trace.len() as u64);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! A counting global allocator for allocation-budget tests (behind the
+//! `count-allocs` feature, which production builds never enable).
+//!
+//! The steady-state per-event replay path is engineered to recycle its
+//! buffers — scratch vectors, the job arena's free list, the event queue's
+//! ring storage — so heap traffic per event should be a small constant,
+//! not a function of queue depth or trace length. The `alloc_budget`
+//! integration test installs [`CountingAlloc`] as the global allocator and
+//! asserts that budget; a regression that sneaks a per-event allocation
+//! into the hot path (a rebuilt `Vec`, a per-pass `HashSet`) moves the
+//! measured ratio far more than the assertion's slack.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the system allocator, counting `alloc`/`realloc` calls.
+/// Install with `#[global_allocator]` in a test binary.
+pub struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Heap allocations (plus reallocations) observed so far, process-wide.
+/// Meaningful only when [`CountingAlloc`] is the global allocator.
+pub fn allocation_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}

@@ -38,7 +38,7 @@ impl Claim {
     }
 }
 
-impl<B: ClusterBackend> SimCore<'_, B> {
+impl<B: ClusterBackend> SimCore<B> {
     // ------------------------------------------------------------------
     // Node routing
     // ------------------------------------------------------------------
@@ -412,7 +412,7 @@ impl<B: ClusterBackend> SimCore<'_, B> {
         let mut supplied = 0u32;
         for (victim, k) in plan.shrinks {
             if victim == od
-                || !self.idx_of.contains_key(&victim)
+                || !self.live(victim)
                 || self.spec(victim).kind != JobKind::Malleable
                 || self.st(victim).status != Status::Running
             {
@@ -440,7 +440,7 @@ impl<B: ClusterBackend> SimCore<'_, B> {
         let mut outstanding = need_extra.saturating_sub(supplied);
         for v in plan.preempt {
             if v.id == od
-                || !self.idx_of.contains_key(&v.id)
+                || !self.live(v.id)
                 || self.spec(v.id).kind == JobKind::OnDemand
                 || self.st(v.id).status != Status::Running
             {
@@ -460,40 +460,29 @@ mod tests {
     use crate::config::{Mechanism, SimConfig};
     use hws_sim::SimDuration;
     use hws_workload::job::JobSpecBuilder;
-    use hws_workload::Trace;
     use proptest::prelude::*;
 
-    /// Build a core whose trace has `n` on-demand jobs (ids `0..n`) on a
+    /// Build a core with `n` admitted on-demand jobs (ids `0..n`) on a
     /// `system`-node machine, with `busy` nodes occupied by a running job.
-    fn core_with_claims(
-        system: u32,
-        busy: u32,
-        claims: &[(u64, u32, u8, u64)],
-    ) -> SimCore<'static> {
-        let mut jobs: Vec<_> = claims
-            .iter()
-            .map(|&(id, target, _, _)| {
+    fn core_with_claims(system: u32, busy: u32, claims: &[(u64, u32, u8, u64)]) -> SimCore {
+        let mut core = SimCore::new(SimConfig::with_mechanism(Mechanism::CUA_PAA), system);
+        for &(id, target, _, _) in claims {
+            core.admit(
                 JobSpecBuilder::on_demand(id)
                     .size(target.min(system))
                     .work(SimDuration::from_secs(600))
                     .estimate(SimDuration::from_secs(1_200))
-                    .build()
-            })
-            .collect();
+                    .build(),
+            );
+        }
         let filler_id = claims.iter().map(|c| c.0).max().unwrap_or(0) + 1;
-        jobs.push(
+        core.admit(
             JobSpecBuilder::rigid(filler_id)
                 .size(system)
                 .work(SimDuration::from_secs(3_600))
                 .estimate(SimDuration::from_secs(7_200))
                 .build(),
         );
-        let trace = Box::leak(Box::new(Trace::new(
-            system,
-            SimDuration::from_days(1),
-            jobs,
-        )));
-        let mut core = SimCore::new(SimConfig::with_mechanism(Mechanism::CUA_PAA), trace);
         // Occupy `busy` nodes so the free pool is scarce.
         if busy > 0 {
             assert!(core.cluster.allocate(JobId(filler_id), busy).is_some());

@@ -14,11 +14,13 @@ use crate::failure::time_to_failure;
 use crate::jobstate::{
     malleable_finish, malleable_progress_ns, rigid_progress, rigid_wall_time, JobState, Run, Status,
 };
+use crate::jobtable::JobTable;
+use crate::policy::QueueKey;
 use crate::timeline::{Timeline, TimelineEvent};
 use hws_cluster::{Cluster, ClusterBackend, LeaseLedger};
 use hws_metrics::{Recorder, ShardStat};
 use hws_sim::{EventId, EventQueue, SimDuration, SimTime};
-use hws_workload::{JobClass, JobId, JobKind, JobSpec, Trace};
+use hws_workload::{JobClass, JobId, JobKind, JobSpec};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -28,12 +30,16 @@ use std::sync::Arc;
 /// [`Federation`](hws_cluster::Federation) of shards. Mechanism hooks are
 /// backend-generic by construction — they plan over snapshot views and
 /// never touch the backend directly.
-pub struct SimCore<'t, B: ClusterBackend = Cluster> {
+///
+/// The core holds **no reference to a trace**: jobs are admitted into the
+/// arena-backed [`JobTable`] as the driver's streaming pump injects their
+/// arrival events, and retired the moment they reach a terminal status, so
+/// resident job state is O(active jobs) regardless of replay length (see
+/// [`super::Simulator::run_source`]).
+pub struct SimCore<B: ClusterBackend = Cluster> {
     pub cfg: SimConfig,
     pub(super) hooks: Arc<dyn MechanismHooks>,
-    pub(super) trace: &'t Trace,
-    pub(super) idx_of: HashMap<JobId, usize>,
-    pub(super) jobs: Vec<JobState>,
+    pub(super) table: JobTable,
     pub(super) cluster: B,
     /// Waiting jobs (unordered; sorted per pass by the queue policy).
     pub(super) queue: Vec<JobId>,
@@ -80,44 +86,32 @@ pub struct SimCore<'t, B: ClusterBackend = Cluster> {
 #[derive(Debug, Default)]
 pub(super) struct Scratch {
     pub(super) ordered: Vec<JobId>,
+    pub(super) keys: Vec<(QueueKey, JobId)>,
     pub(super) releases: Vec<(SimTime, u32)>,
     pub(super) started: Vec<JobId>,
     pub(super) victim_ids: Vec<JobId>,
     pub(super) candidates: Vec<crate::mechanism::CupCandidate>,
 }
 
-impl<'t> SimCore<'t> {
+impl SimCore {
     /// Single-cluster construction (the paper's model).
-    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Self {
-        SimCore::with_backend(cfg, trace, Cluster::new(trace.system_size))
+    pub fn new(cfg: SimConfig, system_size: u32) -> Self {
+        SimCore::with_backend(cfg, Cluster::new(system_size))
     }
 }
 
-impl<'t, B: ClusterBackend> SimCore<'t, B> {
-    /// Run the same driver against any resource-manager backend. The
-    /// backend's total capacity must match the trace's system size.
-    pub fn with_backend(cfg: SimConfig, trace: &'t Trace, backend: B) -> Self {
-        assert_eq!(
-            backend.total_nodes(),
-            trace.system_size,
-            "backend capacity must match the trace's system size"
-        );
-        let mut idx_of = HashMap::with_capacity(trace.jobs.len());
-        let mut jobs = Vec::with_capacity(trace.jobs.len());
-        for (i, spec) in trace.jobs.iter().enumerate() {
-            idx_of.insert(spec.id, i);
-            jobs.push(JobState::new(spec.id, i, spec));
-        }
+impl<B: ClusterBackend> SimCore<B> {
+    /// Run the same driver against any resource-manager backend; the
+    /// backend's total capacity is the system size.
+    pub fn with_backend(cfg: SimConfig, backend: B) -> Self {
         let track_shards = backend.shard_labels().is_some();
         let n_shards = backend.shard_count();
         SimCore {
+            rec: Recorder::new(backend.total_nodes()),
             cluster: backend,
-            rec: Recorder::new(trace.system_size),
             hooks: hooks_for(&cfg),
             cfg,
-            trace,
-            idx_of,
-            jobs,
+            table: JobTable::new(),
             queue: Vec::new(),
             od_front: BTreeSet::new(),
             claims: Vec::new(),
@@ -149,16 +143,15 @@ impl<'t, B: ClusterBackend> SimCore<'t, B> {
     }
 
     /// Paranoid cross-check: the incremental [`Self::cap_running`] counter
-    /// must equal a full scan over the job table. `trace.jobs` and `jobs`
-    /// are parallel vectors by construction.
+    /// must equal a full scan over the live jobs (retired jobs are never
+    /// running, so the live set is the complete population).
     pub(super) fn check_cap_running_invariant(&self) {
-        let scan = self
-            .trace
-            .jobs
-            .iter()
-            .zip(&self.jobs)
-            .filter(|(spec, st)| spec.class == JobClass::Capability && st.status == Status::Running)
-            .count() as u32;
+        let mut scan = 0u32;
+        self.table.for_each_live(|spec, st| {
+            if spec.class == JobClass::Capability && st.status == Status::Running {
+                scan += 1;
+            }
+        });
         assert_eq!(
             scan, self.cap_running,
             "incremental cap_running counter drifted from the scan oracle"
@@ -214,17 +207,51 @@ impl<'t, B: ClusterBackend> SimCore<'t, B> {
         }
     }
 
+    /// Admit a job into the arena. The driver pump calls this exactly when
+    /// it injects the job's arrival events, so a job's state exists from
+    /// its first event (its notice, for noticed on-demand jobs) onwards.
+    pub fn admit(&mut self, spec: JobSpec) {
+        self.table.admit(spec);
+    }
+
+    /// Retire a terminal (finished/killed) job: fold its measurement
+    /// record into the streaming metrics accumulator (a no-op for the
+    /// retained recorder) and free its arena slot. Late events referencing
+    /// the id — stale failure draws, CUP preemption plans — are dropped by
+    /// the liveness guards in [`super::events`].
+    pub(super) fn retire(&mut self, j: JobId) {
+        self.rec.retire(j);
+        self.table.retire(j);
+    }
+
+    /// Whether `j` is still resident (admitted and not yet retired).
+    #[inline]
+    pub(super) fn live(&self, j: JobId) -> bool {
+        self.table.is_live(j)
+    }
+
+    /// Liveness-aware state lookup for event guards: `None` for retired
+    /// jobs, whose stale events must be ignored.
+    #[inline]
+    pub(super) fn st_if_live(&self, j: JobId) -> Option<&JobState> {
+        self.table.get_state(j)
+    }
+
+    /// The arena itself (read-only; reporting and tests).
+    pub fn jobs(&self) -> &JobTable {
+        &self.table
+    }
+
     pub(super) fn spec(&self, j: JobId) -> &JobSpec {
-        &self.trace.jobs[self.idx_of[&j]]
+        self.table.spec(j)
     }
 
     pub(super) fn st(&self, j: JobId) -> &JobState {
-        &self.jobs[self.idx_of[&j]]
+        self.table.state(j)
     }
 
     pub(super) fn st_mut(&mut self, j: JobId) -> &mut JobState {
-        let i = self.idx_of[&j];
-        &mut self.jobs[i]
+        self.table.state_mut(j)
     }
 
     pub(super) fn hybrid(&self) -> bool {
@@ -541,5 +568,8 @@ impl<'t, B: ClusterBackend> SimCore<'t, B> {
             self.settle_leases(j, now, q);
             self.cluster.release_reservation(j);
         }
+        // Terminal status reached and all bookkeeping settled: free the
+        // arena slot so resident state stays O(active jobs).
+        self.retire(j);
     }
 }

@@ -53,7 +53,7 @@ pub enum Ev {
     Pass,
 }
 
-impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
+impl<B: ClusterBackend> Simulation for SimCore<B> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
@@ -74,10 +74,12 @@ impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
                     // forever. Impossible on a single cluster (the trace
                     // validates size ≤ system size), real on federations
                     // whose largest shard is smaller than the machine.
+                    // Terminal on arrival, so retire the slot right away.
                     let st = self.st_mut(j);
                     st.status = Status::Killed;
                     self.rec.job_killed(j, now);
                     self.log(now, j, TimelineEvent::Killed);
+                    self.retire(j);
                 } else if spec.kind == JobKind::OnDemand && self.hybrid() {
                     self.on_od_arrival(j, now, q);
                 } else {
@@ -89,7 +91,9 @@ impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
             Ev::Notice(j) => {
                 if self.hybrid()
                     && self.hooks.uses_notices()
-                    && self.st(j).status == Status::Announced
+                    && self
+                        .st_if_live(j)
+                        .is_some_and(|st| st.status == Status::Announced)
                     && self.spec(j).size <= self.cluster.max_job_size()
                 {
                     self.log(now, j, TimelineEvent::NoticeReceived);
@@ -98,7 +102,10 @@ impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
                 }
             }
             Ev::ReservationTimeout(j) => {
-                if self.st(j).status == Status::Announced {
+                if self
+                    .st_if_live(j)
+                    .is_some_and(|st| st.status == Status::Announced)
+                {
                     self.timeout_ev.remove(&j);
                     if let Some(evs) = self.cup_plans.remove(&j) {
                         for ev in evs {
@@ -114,21 +121,30 @@ impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
                 }
             }
             Ev::Finish { job, epoch } => {
-                if self.st(job).status == Status::Running && self.st(job).epoch == epoch {
+                if self
+                    .st_if_live(job)
+                    .is_some_and(|st| st.status == Status::Running && st.epoch == epoch)
+                {
                     self.finish_job(job, now, false, q);
                     self.offer_free_nodes(now);
                     self.request_pass(now, q);
                 }
             }
             Ev::Kill { job, epoch } => {
-                if self.st(job).status == Status::Running && self.st(job).epoch == epoch {
+                if self
+                    .st_if_live(job)
+                    .is_some_and(|st| st.status == Status::Running && st.epoch == epoch)
+                {
                     self.finish_job(job, now, true, q);
                     self.offer_free_nodes(now);
                     self.request_pass(now, q);
                 }
             }
             Ev::DrainEnd { job, epoch } => {
-                if self.st(job).status == Status::Draining && self.st(job).epoch == epoch {
+                if self
+                    .st_if_live(job)
+                    .is_some_and(|st| st.status == Status::Draining && st.epoch == epoch)
+                {
                     self.finish_drain(job, now);
                     self.offer_free_nodes(now);
                     self.request_pass(now, q);
@@ -137,9 +153,12 @@ impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
             Ev::PlannedPreempt { victim, od, epoch } => {
                 // Valid only while the on-demand job is still expected and
                 // the victim's run is unchanged.
-                if self.st(od).status == Status::Announced
-                    && self.st(victim).status == Status::Running
-                    && self.st(victim).epoch == epoch
+                if self
+                    .st_if_live(od)
+                    .is_some_and(|st| st.status == Status::Announced)
+                    && self
+                        .st_if_live(victim)
+                        .is_some_and(|st| st.status == Status::Running && st.epoch == epoch)
                 {
                     let nodes = self.st(victim).run.as_ref().expect("running").size;
                     let outstanding = self
@@ -153,7 +172,10 @@ impl<B: ClusterBackend> Simulation for SimCore<'_, B> {
                 }
             }
             Ev::Fail { job, epoch } => {
-                if self.st(job).status == Status::Running && self.st(job).epoch == epoch {
+                if self
+                    .st_if_live(job)
+                    .is_some_and(|st| st.status == Status::Running && st.epoch == epoch)
+                {
                     self.fail_job(job, now, q);
                     self.offer_free_nodes(now);
                     self.request_pass(now, q);

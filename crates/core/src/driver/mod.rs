@@ -41,10 +41,10 @@ pub use hooks::{
 
 use crate::config::{Mechanism, SimConfig};
 use crate::timeline::Timeline;
-use hws_cluster::{ClusterBackend, Federation};
-use hws_metrics::{ClassBreakdown, Metrics, ShardStat};
+use hws_cluster::{Cluster, ClusterBackend, Federation};
+use hws_metrics::{ClassBreakdown, Metrics, Recorder, ShardStat};
 use hws_sim::{Engine, EngineStats};
-use hws_workload::{Trace, TraceConfig};
+use hws_workload::{JobSource, MaterializedSource, Trace, TraceConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -65,6 +65,13 @@ pub struct SimOutcome {
     /// `shards`: zero-capability runs must compare bitwise against the
     /// two-class path.
     pub classes: Option<ClassBreakdown>,
+    /// High-water mark of co-resident jobs in the driver's arena — the
+    /// O(active) memory claim, measured. For materialized replays this is
+    /// still the *live window*, not the trace length: arrivals are
+    /// injected lazily and retired jobs leave the arena.
+    pub peak_resident_jobs: usize,
+    /// Total jobs admitted over the run (equals the trace length).
+    pub admitted_jobs: u64,
 }
 
 /// Public façade: configure once, replay traces.
@@ -76,28 +83,95 @@ impl Simulator {
     /// federation of shards at the same total capacity.
     pub fn run_trace(cfg: &SimConfig, trace: &Trace) -> SimOutcome {
         match &cfg.federation {
-            None => Self::run_core(SimCore::new(cfg.clone(), trace), trace),
+            None => Self::run_core(
+                SimCore::new(cfg.clone(), trace.system_size),
+                MaterializedSource::new(trace),
+            ),
             Some(fed) => {
                 let backend = Federation::new(fed, trace.system_size, &trace.jobs);
-                Self::run_core(SimCore::with_backend(cfg.clone(), trace, backend), trace)
+                Self::run_core(
+                    SimCore::with_backend(cfg.clone(), backend),
+                    MaterializedSource::new(trace),
+                )
             }
         }
     }
 
-    /// The backend-generic run loop behind [`Simulator::run_trace`].
-    fn run_core<B: ClusterBackend>(core: SimCore<'_, B>, trace: &Trace) -> SimOutcome {
+    /// Replay a streaming [`JobSource`] under `cfg`. This is the O(active
+    /// jobs) entry point: arrival events are pulled from the source as
+    /// virtual time advances, per-job records fold into the metrics
+    /// accumulators as jobs retire, and resident memory tracks the live
+    /// window of the workload rather than its length.
+    ///
+    /// Produces **bitwise-identical** metrics to [`Simulator::run_trace`]
+    /// over the materialized equivalent of the same source.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.federation` is set: federated dispatch plans
+    /// placement from the full job list up front, which contradicts
+    /// streaming. Use [`Simulator::run_trace`] for federations.
+    pub fn run_source<S: JobSource>(cfg: &SimConfig, source: S) -> SimOutcome {
+        assert!(
+            cfg.federation.is_none(),
+            "streaming replay does not support federation (placement needs the full job list)"
+        );
+        let system_size = source.system_size();
+        let mut core = SimCore::with_backend(cfg.clone(), Cluster::new(system_size));
+        core.rec = Recorder::streaming(system_size, cfg.instant_threshold);
+        Self::run_core(core, source)
+    }
+
+    /// The backend- and source-generic run loop behind
+    /// [`Simulator::run_trace`] and [`Simulator::run_source`].
+    ///
+    /// ## The arrival pump
+    ///
+    /// Jobs are injected in source order, but only as far ahead as the
+    /// event horizon requires: with `L = source.max_notice_lead()`, a job
+    /// is injected once `submit - L <=` the queue's head timestamp (or the
+    /// queue is empty). Any job still in the source therefore has every
+    /// one of its arrival events strictly after the current head, so the
+    /// arrival lane's monotonic watermark is never violated, and same-
+    /// instant arrival/dynamic ties resolve exactly as the old pre-seeded
+    /// loop did (arrival-lane sequence numbers sort below dynamic ones).
+    fn run_core<B: ClusterBackend, S: JobSource>(core: SimCore<B>, mut source: S) -> SimOutcome {
+        assert_eq!(
+            core.cluster.total_nodes(),
+            source.system_size(),
+            "backend capacity must match the source's system size"
+        );
         let schedule_notices = !core.cfg.mechanism.is_baseline() && core.hooks.uses_notices();
         let mechanism = core.cfg.mechanism;
+        let lead = source.max_notice_lead();
         let mut engine = Engine::new(core);
-        for (idx, spec) in trace.jobs.iter().enumerate() {
-            let id = spec.id;
-            debug_assert_eq!(engine.sim.idx_of[&id], idx);
-            if let (Some(notice), true) = (&spec.notice, schedule_notices) {
-                engine.queue.schedule(notice.notice_time, Ev::Notice(id));
+        let mut next = source.next_job();
+        loop {
+            // Pump: admit + schedule arrivals due before (or at) the next
+            // event to dispatch.
+            while let Some(spec) = next.take() {
+                if let Some(head) = engine.queue.peek_time() {
+                    if spec.submit.saturating_sub(lead) > head {
+                        next = Some(spec);
+                        break;
+                    }
+                }
+                let id = spec.id;
+                if let (Some(notice), true) = (&spec.notice, schedule_notices) {
+                    engine
+                        .queue
+                        .schedule_arrival(notice.notice_time, Ev::Notice(id));
+                }
+                engine.queue.schedule_arrival(spec.submit, Ev::Submit(id));
+                engine.sim.admit(spec);
+                next = source.next_job();
             }
-            engine.queue.schedule(spec.submit, Ev::Submit(id));
+            if !engine.step() {
+                debug_assert!(next.is_none(), "source outlived the event queue");
+                break;
+            }
         }
-        let stats = engine.run_to_completion();
+        let stats = engine.stats();
         let core = engine.into_sim();
         let metrics = Metrics::compute(&core.rec, core.cfg.instant_threshold);
         SimOutcome {
@@ -110,6 +184,8 @@ impl Simulator {
                 .rec
                 .saw_capability()
                 .then(|| ClassBreakdown::compute(&core.rec)),
+            peak_resident_jobs: core.jobs().peak_live(),
+            admitted_jobs: core.jobs().admitted(),
             timeline: core.cfg.record_timeline.then_some(core.timeline),
         }
     }

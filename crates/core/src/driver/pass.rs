@@ -11,30 +11,34 @@ use hws_cluster::ClusterBackend;
 use hws_sim::{EventQueue, SimTime};
 use hws_workload::{JobId, JobKind};
 
-impl<B: ClusterBackend> SimCore<'_, B> {
+impl<B: ClusterBackend> SimCore<B> {
     pub(super) fn schedule_pass(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
         if self.queue.is_empty() {
             return;
         }
-        // Order the queue. Keys are computed once per job
-        // (`sort_by_cached_key`), not inside the comparator — with the
-        // `od_front` membership probe in the key, a comparator-side
-        // computation would cost O(n log n) key evaluations per pass.
+        // Order the queue. Keys are computed once per job into a recycled
+        // scratch buffer — with the `od_front` membership probe in the key,
+        // a comparator-side computation would cost O(n log n) key
+        // evaluations per pass, and `sort_by_cached_key` would allocate its
+        // key cache on every pass. Keys carry a unique tiebreaker (the job
+        // id), so the unstable sort is deterministic.
         let mut ordered = std::mem::take(&mut self.scratch.ordered);
-        ordered.extend(
-            self.queue
-                .iter()
-                .copied()
-                .filter(|j| self.st(*j).status == Status::Waiting),
-        );
-        ordered.sort_by_cached_key(|&j| {
-            queue_key(
-                self.cfg.policy,
-                self.spec(j),
-                self.od_front.contains(&j),
-                now,
-            )
-        });
+        let mut keys = std::mem::take(&mut self.scratch.keys);
+        for &j in self.queue.iter() {
+            if self.st(j).status == Status::Waiting {
+                let key = queue_key(
+                    self.cfg.policy,
+                    self.spec(j),
+                    self.od_front.contains(&j),
+                    now,
+                );
+                keys.push((key, j));
+            }
+        }
+        keys.sort_unstable();
+        ordered.extend(keys.iter().map(|&(_, j)| j));
+        keys.clear();
+        self.scratch.keys = keys;
 
         let mut started = std::mem::take(&mut self.scratch.started);
         let mut head: Option<JobId> = None;
@@ -149,8 +153,12 @@ impl<B: ClusterBackend> SimCore<'_, B> {
             }
         }
         if !started.is_empty() {
-            let done: std::collections::HashSet<JobId> = started.iter().copied().collect();
-            self.queue.retain(|j| !done.contains(j));
+            // Every job this pass started left `Waiting`, and nothing else
+            // moves a queued job out of `Waiting` mid-pass, so a status
+            // retain drops exactly the started set — no per-pass hash set.
+            let mut queue = std::mem::take(&mut self.queue);
+            queue.retain(|&j| self.st(j).status == Status::Waiting);
+            self.queue = queue;
         }
         started.clear();
         self.scratch.started = started;

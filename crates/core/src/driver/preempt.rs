@@ -9,7 +9,7 @@ use hws_cluster::ClusterBackend;
 use hws_sim::{EventQueue, SimTime};
 use hws_workload::{JobId, JobKind};
 
-impl<B: ClusterBackend> SimCore<'_, B> {
+impl<B: ClusterBackend> SimCore<B> {
     /// Preemption overhead (wasted node-seconds) of preempting `j` now:
     /// work past the last checkpoint for rigid jobs; spent setup plus the
     /// warning window for malleable jobs.

@@ -31,9 +31,12 @@
 pub mod backfill;
 pub mod ckpt;
 pub mod config;
+#[cfg(feature = "count-allocs")]
+pub mod counting_alloc;
 pub mod driver;
 pub mod failure;
 pub mod jobstate;
+pub mod jobtable;
 pub mod mechanism;
 pub mod policy;
 pub mod timeline;
@@ -49,5 +52,6 @@ pub use driver::{
     ShrinkThenPreempt, SimOutcome, Simulator,
 };
 pub use failure::FailureConfig;
+pub use jobtable::JobTable;
 pub use policy::PolicyKind;
 pub use timeline::{Timeline, TimelineEvent};

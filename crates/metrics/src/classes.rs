@@ -7,7 +7,7 @@
 //! attached to the run outcome separately and only surfaced by the
 //! capability-aware reporting paths (`--bin capability`, tests).
 
-use crate::record::Recorder;
+use crate::record::{JobRecord, Recorder};
 use hws_workload::JobClass;
 
 /// Aggregate statistics of one job class over a run.
@@ -35,35 +35,42 @@ pub struct ClassBreakdown {
     pub capability: ClassStats,
 }
 
-impl ClassBreakdown {
-    /// Fold a recorder into the two per-class aggregates. Iterates in
-    /// job-id order so the float sums are deterministic across runs.
-    pub fn compute(rec: &Recorder) -> ClassBreakdown {
-        let mut acc = [(ClassStats::default(), 0.0f64, 0.0f64); 2]; // (stats, tat_sum, wait_sum)
-        let mut sorted: Vec<_> = rec.records().collect();
-        sorted.sort_by_key(|(id, _)| **id);
-        for (_, r) in sorted {
-            let slot = match r.class {
-                JobClass::Capacity => &mut acc[0],
-                JobClass::Capability => &mut acc[1],
-            };
-            slot.0.jobs += 1;
-            if r.preemptions > 0 {
-                slot.0.preempted_jobs += 1;
-            }
-            slot.0.preemption_events += u64::from(r.preemptions);
-            if r.killed {
-                slot.0.killed += 1;
-                continue;
-            }
-            if let Some(tat) = r.turnaround() {
-                slot.0.completed += 1;
-                slot.1 += tat.as_hours_f64();
-                if let Some(w) = r.wait() {
-                    slot.2 += w.as_hours_f64();
-                }
+/// Incremental per-class fold behind [`ClassBreakdown`]. Same id-order
+/// push contract as [`crate::MetricsAcc`]: a streaming recorder folds each
+/// record at retirement, a retaining recorder folds everything at the end,
+/// and the float-op sequences coincide.
+#[derive(Debug, Clone, Default)]
+pub struct ClassAcc {
+    /// Per class: (stats, tat_sum, wait_sum).
+    acc: [(ClassStats, f64, f64); 2],
+}
+
+impl ClassAcc {
+    /// Fold one (final) job record.
+    pub fn push(&mut self, r: &JobRecord) {
+        let slot = match r.class {
+            JobClass::Capacity => &mut self.acc[0],
+            JobClass::Capability => &mut self.acc[1],
+        };
+        slot.0.jobs += 1;
+        if r.preemptions > 0 {
+            slot.0.preempted_jobs += 1;
+        }
+        slot.0.preemption_events += u64::from(r.preemptions);
+        if r.killed {
+            slot.0.killed += 1;
+            return;
+        }
+        if let Some(tat) = r.turnaround() {
+            slot.0.completed += 1;
+            slot.1 += tat.as_hours_f64();
+            if let Some(w) = r.wait() {
+                slot.2 += w.as_hours_f64();
             }
         }
+    }
+
+    pub fn finish(&self) -> ClassBreakdown {
         let finish = |(mut s, tat_sum, wait_sum): (ClassStats, f64, f64)| {
             if s.completed > 0 {
                 s.avg_turnaround_h = tat_sum / s.completed as f64;
@@ -72,9 +79,24 @@ impl ClassBreakdown {
             s
         };
         ClassBreakdown {
-            capacity: finish(acc[0]),
-            capability: finish(acc[1]),
+            capacity: finish(self.acc[0]),
+            capability: finish(self.acc[1]),
         }
+    }
+}
+
+impl ClassBreakdown {
+    /// Fold a recorder into the two per-class aggregates. Iterates in
+    /// job-id order so the float sums are deterministic across runs; a
+    /// streaming recorder's already-folded prefix is reused as-is.
+    pub fn compute(rec: &Recorder) -> ClassBreakdown {
+        let mut acc = rec.class_acc().cloned().unwrap_or_default();
+        let mut sorted: Vec<_> = rec.unfolded().collect();
+        sorted.sort_by_key(|(id, _)| *id);
+        for (_, r) in sorted {
+            acc.push(r);
+        }
+        acc.finish()
     }
 
     /// Whether the run saw any capability-class jobs at all.

@@ -23,8 +23,8 @@ pub mod shard;
 pub mod summary;
 pub mod table;
 
-pub use classes::{ClassBreakdown, ClassStats};
+pub use classes::{ClassAcc, ClassBreakdown, ClassStats};
 pub use record::{JobRecord, Recorder};
 pub use shard::{ShardStat, ShardTotals};
-pub use summary::{KindStats, Metrics, MetricsAvg};
+pub use summary::{KindStats, Metrics, MetricsAcc, MetricsAvg};
 pub use table::Table;

@@ -1,9 +1,11 @@
 //! Raw per-job and system-level measurements, populated by the simulation
 //! driver through narrow callbacks.
 
+use crate::classes::ClassAcc;
+use crate::summary::MetricsAcc;
 use hws_sim::{SimDuration, SimTime};
 use hws_workload::{JobClass, JobId, JobKind, NoticeCategory};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Everything measured about one job.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,10 +59,42 @@ impl JobRecord {
     }
 }
 
+/// What happens to a job's record once the job retires.
+// One `Retention` lives per `Recorder` (one per run), so the unused
+// bytes a `Retain`-mode recorder carries for the `Stream` payload are
+// irrelevant; boxing would only add an indirection on the fold path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Retention {
+    /// Keep every record for the run's lifetime (the classic mode: CSV
+    /// export, per-job inspection, batch metric folds).
+    Retain,
+    /// Fold records into the metric accumulators as jobs retire, in job-id
+    /// order, and drop them — O(active jobs) resident memory.
+    ///
+    /// Bitwise equality with [`Retention::Retain`] rests on two facts:
+    /// submissions arrive in ascending id order (asserted), and a record
+    /// is folded only once every smaller id has been folded — so the float
+    /// summation sequence is exactly the batch fold's id-ordered sequence.
+    Stream {
+        acc: MetricsAcc,
+        classes: ClassAcc,
+        /// Retired records waiting for every smaller id to retire.
+        done: BTreeMap<JobId, JobRecord>,
+        /// Submitted-but-not-retired ids; the minimum blocks the fold.
+        live: BTreeSet<JobId>,
+        /// Largest id submitted so far (ascending-order assert).
+        last_id: Option<JobId>,
+        /// Records folded and dropped so far.
+        folded: u64,
+    },
+}
+
 /// Collects measurements during one simulation run.
 #[derive(Debug, Clone)]
 pub struct Recorder {
     pub system_size: u32,
+    retention: Retention,
     records: HashMap<JobId, JobRecord>,
     /// Node-seconds any job occupied (work + setup + checkpoint + drain).
     occupied_node_seconds: u128,
@@ -79,6 +113,7 @@ impl Recorder {
     pub fn new(system_size: u32) -> Self {
         Recorder {
             system_size,
+            retention: Retention::Retain,
             records: HashMap::new(),
             occupied_node_seconds: 0,
             wasted_node_seconds: 0,
@@ -87,6 +122,91 @@ impl Recorder {
             decision_nanos: Vec::new(),
             saw_capability: false,
         }
+    }
+
+    /// A recorder that folds each job's record into the metric
+    /// accumulators when the job [retires](Recorder::retire) and drops it,
+    /// keeping resident memory O(active jobs). `instant_threshold` must
+    /// match the one later passed to `Metrics::compute`.
+    ///
+    /// Requires submissions in ascending job-id order (asserted) — the
+    /// order traces are numbered in. Per-job queries (`get`, `jobs_csv`)
+    /// only see jobs not yet folded.
+    pub fn streaming(system_size: u32, instant_threshold: SimDuration) -> Self {
+        let mut r = Recorder::new(system_size);
+        r.retention = Retention::Stream {
+            acc: MetricsAcc::new(instant_threshold),
+            classes: ClassAcc::default(),
+            done: BTreeMap::new(),
+            live: BTreeSet::new(),
+            last_id: None,
+            folded: 0,
+        };
+        r
+    }
+
+    /// Declare `id`'s record final: no further callback will reference it.
+    /// A no-op when retaining; in streaming mode the record folds into the
+    /// accumulators as soon as every smaller id has also retired.
+    pub fn retire(&mut self, id: JobId) {
+        if let Retention::Stream {
+            acc,
+            classes,
+            done,
+            live,
+            folded,
+            ..
+        } = &mut self.retention
+        {
+            let r = self
+                .records
+                .remove(&id)
+                .unwrap_or_else(|| panic!("{id} retired but never submitted"));
+            live.remove(&id);
+            done.insert(id, r);
+            // Fold the ready prefix: everything below the smallest live id
+            // (all smaller ids were submitted earlier and have retired).
+            while let Some(entry) = done.first_entry() {
+                if live.first().is_some_and(|l| l < entry.key()) {
+                    break;
+                }
+                let (_, r) = entry.remove_entry();
+                acc.push(&r);
+                classes.push(&r);
+                *folded += 1;
+            }
+        }
+    }
+
+    /// The streaming fold of retired records, when in streaming mode.
+    pub(crate) fn metrics_acc(&self) -> Option<&MetricsAcc> {
+        match &self.retention {
+            Retention::Stream { acc, .. } => Some(acc),
+            Retention::Retain => None,
+        }
+    }
+
+    /// The streaming per-class fold, when in streaming mode.
+    pub(crate) fn class_acc(&self) -> Option<&ClassAcc> {
+        match &self.retention {
+            Retention::Stream { classes, .. } => Some(classes),
+            Retention::Retain => None,
+        }
+    }
+
+    /// Records not yet folded into the streaming accumulators: all records
+    /// when retaining; live jobs plus the fold's waiting buffer when
+    /// streaming. Unordered — callers sort by id.
+    pub(crate) fn unfolded(&self) -> impl Iterator<Item = (JobId, &JobRecord)> {
+        let pending = match &self.retention {
+            Retention::Stream { done, .. } => Some(done),
+            Retention::Retain => None,
+        };
+        self.records.iter().map(|(id, r)| (*id, r)).chain(
+            pending
+                .into_iter()
+                .flat_map(|d| d.iter().map(|(id, r)| (*id, r))),
+        )
     }
 
     pub fn job_submitted(&mut self, id: JobId, kind: JobKind, size: u32, t: SimTime) {
@@ -118,6 +238,14 @@ impl Recorder {
     ) {
         self.first_submit = Some(self.first_submit.map_or(t, |f| f.min(t)));
         self.saw_capability |= class == JobClass::Capability;
+        if let Retention::Stream { live, last_id, .. } = &mut self.retention {
+            assert!(
+                last_id.is_none_or(|p| p < id),
+                "streaming recorder requires ascending job-id submissions ({id} after {last_id:?})"
+            );
+            *last_id = Some(id);
+            live.insert(id);
+        }
         self.records.entry(id).or_insert(JobRecord {
             kind,
             class,

@@ -1,7 +1,7 @@
 //! Folding raw records into the paper's evaluation metrics, and averaging
 //! across seeds.
 
-use crate::record::Recorder;
+use crate::record::{JobRecord, Recorder};
 use hws_sim::SimDuration;
 use hws_workload::{JobKind, NoticeCategory};
 
@@ -51,91 +51,130 @@ pub struct Metrics {
     pub total_failures: u64,
 }
 
-impl Metrics {
-    /// Fold a recorder into the report. `instant_threshold` is the
-    /// start-delay bound under which an on-demand start counts as
-    /// "instant" (the driver passes its two-minute vacate window).
-    pub fn compute(rec: &Recorder, instant_threshold: SimDuration) -> Metrics {
-        let mut sum_tat = 0.0;
-        let mut n_completed = 0usize;
-        let mut killed = 0usize;
-        let mut per: [(f64, usize, usize, usize); 3] = [(0.0, 0, 0, 0); 3]; // (tat_sum, completed, preempted, total)
-        let mut od_total = 0usize;
-        let mut od_instant = 0usize;
-        let mut od_strict = 0usize;
-        let mut wait_sum = 0.0;
-        let mut wait_n = 0usize;
-        let mut slow_sum = 0.0;
-        let mut slow_n = 0usize;
-        let mut cat_inst = [(0usize, 0usize); 4];
-        let mut total_failures = 0u64;
+/// Incremental fold of per-job records into the scalar state behind
+/// [`Metrics`]. Records **must** be pushed in ascending job-id order — the
+/// float summation sequence is part of the bitwise-determinism contract,
+/// and id order is the one the materialized fold has always used.
+///
+/// [`Metrics::compute`] drives this for both retention modes: a retaining
+/// recorder pushes every record at the end (the classic batch fold), a
+/// streaming recorder pushes each record as its job retires and only the
+/// stragglers at the end — the per-record operation sequence is identical,
+/// so the two modes produce bitwise-equal reports.
+#[derive(Debug, Clone)]
+pub struct MetricsAcc {
+    instant_threshold: SimDuration,
+    sum_tat: f64,
+    n_completed: usize,
+    killed: usize,
+    /// Per kind: (tat_sum, completed, preempted, total).
+    per: [(f64, usize, usize, usize); 3],
+    od_total: usize,
+    od_instant: usize,
+    od_strict: usize,
+    wait_sum: f64,
+    wait_n: usize,
+    slow_sum: f64,
+    slow_n: usize,
+    cat_inst: [(usize, usize); 4],
+    total_failures: u64,
+}
 
-        // Fold in job-id order so float summation is deterministic across
-        // runs (HashMap iteration order is not).
-        let mut sorted: Vec<_> = rec.records().collect();
-        sorted.sort_by_key(|(id, _)| **id);
-        for (_, r) in sorted {
-            let idx = match r.kind {
-                JobKind::Rigid => 0,
-                JobKind::OnDemand => 1,
-                JobKind::Malleable => 2,
-            };
-            per[idx].3 += 1;
-            if r.preemptions > 0 {
-                per[idx].2 += 1;
-            }
-            if r.killed {
-                killed += 1;
-                continue;
-            }
-            total_failures += u64::from(r.failures);
-            if let Some(tat) = r.turnaround() {
-                let h = tat.as_hours_f64();
-                sum_tat += h;
-                n_completed += 1;
-                per[idx].0 += h;
-                per[idx].1 += 1;
-            }
-            if let Some(w) = r.wait() {
-                wait_sum += w.as_hours_f64();
-                wait_n += 1;
-            }
-            if let Some(s) = r.bounded_slowdown() {
-                slow_sum += s;
-                slow_n += 1;
-            }
-            if r.kind == JobKind::OnDemand {
-                if let Some(delay) = r.start_delay {
-                    od_total += 1;
-                    let cat = match r.category {
-                        NoticeCategory::NoNotice => 0,
-                        NoticeCategory::Accurate => 1,
-                        NoticeCategory::Early => 2,
-                        NoticeCategory::Late => 3,
-                    };
-                    cat_inst[cat].1 += 1;
-                    if delay <= instant_threshold {
-                        od_instant += 1;
-                        cat_inst[cat].0 += 1;
-                    }
-                    if delay.is_zero() {
-                        od_strict += 1;
-                    }
+impl MetricsAcc {
+    /// `instant_threshold` is the start-delay bound under which an
+    /// on-demand start counts as "instant" (the driver passes its
+    /// two-minute vacate window).
+    pub fn new(instant_threshold: SimDuration) -> Self {
+        MetricsAcc {
+            instant_threshold,
+            sum_tat: 0.0,
+            n_completed: 0,
+            killed: 0,
+            per: [(0.0, 0, 0, 0); 3],
+            od_total: 0,
+            od_instant: 0,
+            od_strict: 0,
+            wait_sum: 0.0,
+            wait_n: 0,
+            slow_sum: 0.0,
+            slow_n: 0,
+            cat_inst: [(0, 0); 4],
+            total_failures: 0,
+        }
+    }
+
+    pub fn instant_threshold(&self) -> SimDuration {
+        self.instant_threshold
+    }
+
+    /// Fold one (final) job record.
+    pub fn push(&mut self, r: &JobRecord) {
+        let idx = match r.kind {
+            JobKind::Rigid => 0,
+            JobKind::OnDemand => 1,
+            JobKind::Malleable => 2,
+        };
+        self.per[idx].3 += 1;
+        if r.preemptions > 0 {
+            self.per[idx].2 += 1;
+        }
+        if r.killed {
+            self.killed += 1;
+            return;
+        }
+        self.total_failures += u64::from(r.failures);
+        if let Some(tat) = r.turnaround() {
+            let h = tat.as_hours_f64();
+            self.sum_tat += h;
+            self.n_completed += 1;
+            self.per[idx].0 += h;
+            self.per[idx].1 += 1;
+        }
+        if let Some(w) = r.wait() {
+            self.wait_sum += w.as_hours_f64();
+            self.wait_n += 1;
+        }
+        if let Some(s) = r.bounded_slowdown() {
+            self.slow_sum += s;
+            self.slow_n += 1;
+        }
+        if r.kind == JobKind::OnDemand {
+            if let Some(delay) = r.start_delay {
+                self.od_total += 1;
+                let cat = match r.category {
+                    NoticeCategory::NoNotice => 0,
+                    NoticeCategory::Accurate => 1,
+                    NoticeCategory::Early => 2,
+                    NoticeCategory::Late => 3,
+                };
+                self.cat_inst[cat].1 += 1;
+                if delay <= self.instant_threshold {
+                    self.od_instant += 1;
+                    self.cat_inst[cat].0 += 1;
+                }
+                if delay.is_zero() {
+                    self.od_strict += 1;
                 }
             }
         }
-        let instant_by_category =
-            cat_inst.map(|(i, n)| if n > 0 { i as f64 / n as f64 } else { 0.0 });
+    }
+
+    /// Combine the folded per-job state with the recorder's run-level
+    /// aggregates (span, occupancy, decision latencies) into the report.
+    pub fn finish(&self, rec: &Recorder) -> Metrics {
+        let instant_by_category = self
+            .cat_inst
+            .map(|(i, n)| if n > 0 { i as f64 / n as f64 } else { 0.0 });
 
         let kind_stats = |i: usize| KindStats {
-            completed: per[i].1,
-            avg_turnaround_h: if per[i].1 > 0 {
-                per[i].0 / per[i].1 as f64
+            completed: self.per[i].1,
+            avg_turnaround_h: if self.per[i].1 > 0 {
+                self.per[i].0 / self.per[i].1 as f64
             } else {
                 0.0
             },
-            preemption_ratio: if per[i].3 > 0 {
-                per[i].2 as f64 / per[i].3 as f64
+            preemption_ratio: if self.per[i].3 > 0 {
+                self.per[i].2 as f64 / self.per[i].3 as f64
             } else {
                 0.0
             },
@@ -180,45 +219,78 @@ impl Metrics {
         let decision_max_us = d.last().copied().unwrap_or(0) as f64 / 1_000.0;
 
         Metrics {
-            avg_turnaround_h: if n_completed > 0 {
-                sum_tat / n_completed as f64
+            avg_turnaround_h: if self.n_completed > 0 {
+                self.sum_tat / self.n_completed as f64
             } else {
                 0.0
             },
             rigid: kind_stats(0),
             on_demand: kind_stats(1),
             malleable: kind_stats(2),
-            instant_start_rate: if od_total > 0 {
-                od_instant as f64 / od_total as f64
+            instant_start_rate: if self.od_total > 0 {
+                self.od_instant as f64 / self.od_total as f64
             } else {
                 0.0
             },
-            strict_instant_rate: if od_total > 0 {
-                od_strict as f64 / od_total as f64
+            strict_instant_rate: if self.od_total > 0 {
+                self.od_strict as f64 / self.od_total as f64
             } else {
                 0.0
             },
             utilization,
             raw_occupancy,
-            completed_jobs: n_completed,
-            killed_jobs: killed,
+            completed_jobs: self.n_completed,
+            killed_jobs: self.killed,
             span_hours,
             decision_mean_us,
             decision_p99_us,
             decision_max_us,
-            avg_wait_h: if wait_n > 0 {
-                wait_sum / wait_n as f64
+            avg_wait_h: if self.wait_n > 0 {
+                self.wait_sum / self.wait_n as f64
             } else {
                 0.0
             },
-            avg_bounded_slowdown: if slow_n > 0 {
-                slow_sum / slow_n as f64
+            avg_bounded_slowdown: if self.slow_n > 0 {
+                self.slow_sum / self.slow_n as f64
             } else {
                 0.0
             },
             instant_by_category,
-            total_failures,
+            total_failures: self.total_failures,
         }
+    }
+}
+
+impl Metrics {
+    /// Fold a recorder into the report. `instant_threshold` is the
+    /// start-delay bound under which an on-demand start counts as
+    /// "instant" (the driver passes its two-minute vacate window).
+    ///
+    /// For a streaming recorder, the retired-and-folded prefix is reused
+    /// as-is (its threshold must match) and only unfolded records are
+    /// pushed here; the result is bitwise-identical to the retaining fold.
+    pub fn compute(rec: &Recorder, instant_threshold: SimDuration) -> Metrics {
+        let mut acc = match rec.metrics_acc() {
+            Some(a) => {
+                assert_eq!(
+                    a.instant_threshold(),
+                    instant_threshold,
+                    "streaming recorder folded with a different instant threshold"
+                );
+                a.clone()
+            }
+            None => MetricsAcc::new(instant_threshold),
+        };
+        // Fold in job-id order so float summation is deterministic across
+        // runs (HashMap iteration order is not). A streaming recorder's
+        // already-folded prefix covers exactly the ids below every record
+        // surfaced here, so the overall sequence stays id-ordered.
+        let mut sorted: Vec<_> = rec.unfolded().collect();
+        sorted.sort_by_key(|(id, _)| *id);
+        for (_, r) in sorted {
+            acc.push(r);
+        }
+        acc.finish(rec)
     }
 
     /// One-line human summary (examples, quick experiments).

@@ -5,10 +5,41 @@
 //! becomes stale when the job is preempted or shrunk, and a planned
 //! checkpoint-triggered preemption (CUP) is dropped when its on-demand job
 //! arrives early. Cancelled entries stay in the heap and are skipped on pop.
+//!
+//! ## Two sequence lanes
+//!
+//! Entries are ordered by `(time, seq)`. The queue hands out sequence
+//! numbers from two disjoint lanes:
+//!
+//! * the **arrival lane** ([`EventQueue::schedule_arrival`]) counts up from
+//!   0 and is reserved for externally ordered trace arrivals (submits and
+//!   advance notices) injected lazily by a streaming driver;
+//! * the **dynamic lane** ([`EventQueue::schedule`]) counts up from
+//!   [`DYN_SEQ_BASE`] and carries everything the simulation schedules while
+//!   running.
+//!
+//! Because every arrival seq is below every dynamic seq, a same-instant tie
+//! always delivers trace arrivals before dynamic events — exactly the order
+//! a driver gets by pre-seeding the whole trace into a fresh queue before
+//! its first dynamic `schedule`. That makes lazily injected arrivals
+//! bitwise-indistinguishable from pre-seeded ones, which is the invariant
+//! the streaming replay path is built on.
+//!
+//! ## Cancellation flags
+//!
+//! Dynamic-lane cancellation state lives in a ring of per-seq flags (a
+//! `VecDeque<u8>` indexed by `seq - flag_base`) instead of hash sets: one
+//! array read per cancel/pop check, no hashing on the hot path. Arrival-lane
+//! events are never cancellable (the trace is immutable), so they carry no
+//! flag at all.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// First sequence number of the dynamic lane; everything below it belongs
+/// to the arrival lane.
+pub const DYN_SEQ_BASE: u64 = 1 << 62;
 
 /// Opaque handle for a scheduled event, used to cancel it later.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,7 +48,6 @@ pub struct EventId(u64);
 struct Entry<E> {
     time: SimTime,
     seq: u64,
-    id: EventId,
     event: E,
 }
 
@@ -42,21 +72,35 @@ impl<E> PartialEq for Entry<E> {
 }
 impl<E> Eq for Entry<E> {}
 
+/// Per-seq lifecycle of a dynamic-lane event.
+const FLAG_PENDING: u8 = 0;
+const FLAG_DELIVERED: u8 = 1;
+const FLAG_CANCELLED: u8 = 2;
+const FLAG_RECLAIMED: u8 = 3;
+
 /// Future-event list with stable ordering and lazy cancellation.
 ///
 /// Two bookkeeping guarantees keep long replays bounded:
 ///
-/// * `cancelled ⊆ pending` — cancelling an already-delivered (or unknown)
-///   id is a true no-op, so stale cancels can never leak tombstones;
+/// * cancelling an already-delivered (or unknown) id is a true no-op, so
+///   stale cancels can never leak tombstones;
 /// * when cancelled tombstones outnumber live entries, the heap is
 ///   compacted in O(heap) — epoch-bumped Finish/Kill events accumulating
 ///   under heavy preemption can never dominate the heap.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
-    /// Ids still in the heap (scheduled, not yet delivered or reclaimed).
-    pending: HashSet<EventId>,
+    /// Dynamic-lane flags, indexed by `seq - flag_base`. The front is
+    /// trimmed as soon as it is no longer `FLAG_PENDING`, so the ring spans
+    /// only the oldest-undelivered..newest window.
+    flags: VecDeque<u8>,
+    /// Sequence number of `flags[0]`.
+    flag_base: u64,
+    /// Next dynamic-lane sequence number.
     next_seq: u64,
+    /// Next arrival-lane sequence number.
+    next_arrival_seq: u64,
+    /// Cancelled entries still buried in the heap.
+    live_cancelled: usize,
     /// High-water mark of delivered time; scheduling before it is a logic
     /// error caught in debug builds.
     watermark: SimTime,
@@ -73,9 +117,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            pending: HashSet::new(),
-            next_seq: 0,
+            flags: VecDeque::new(),
+            flag_base: DYN_SEQ_BASE,
+            next_seq: DYN_SEQ_BASE,
+            next_arrival_seq: 0,
+            live_cancelled: 0,
             watermark: SimTime::ZERO,
             n_cancelled_popped: 0,
         }
@@ -93,38 +139,77 @@ impl<E> EventQueue<E> {
             self.watermark
         );
         let t = t.max(self.watermark);
-        let id = EventId(self.next_seq);
+        let seq = self.next_seq;
         self.heap.push(Entry {
             time: t,
-            seq: self.next_seq,
-            id,
+            seq,
             event,
         });
-        self.pending.insert(id);
+        self.flags.push_back(FLAG_PENDING);
         self.next_seq += 1;
-        id
+        EventId(seq)
+    }
+
+    /// Schedule a trace arrival (submit / advance notice) on the low
+    /// sequence lane. Same-instant ties deliver arrival-lane events before
+    /// every dynamic one, and earlier arrivals before later ones — the
+    /// caller must therefore inject arrivals in trace order. Arrival events
+    /// cannot be cancelled.
+    pub fn schedule_arrival(&mut self, t: SimTime, event: E) -> EventId {
+        debug_assert!(
+            t >= self.watermark,
+            "arrival scheduled at {t} before watermark {}",
+            self.watermark
+        );
+        debug_assert!(
+            self.next_arrival_seq < DYN_SEQ_BASE,
+            "arrival lane exhausted"
+        );
+        let t = t.max(self.watermark);
+        let seq = self.next_arrival_seq;
+        self.heap.push(Entry {
+            time: t,
+            seq,
+            event,
+        });
+        self.next_arrival_seq += 1;
+        EventId(seq)
     }
 
     /// Cancel a previously scheduled event. Cancelling an already-delivered,
-    /// already-cancelled, or unknown event is a true no-op (returns
-    /// `false`) — no tombstone is recorded, so stale cancels cannot grow
-    /// the cancelled set on long replays.
+    /// already-cancelled, arrival-lane, or unknown event is a true no-op
+    /// (returns `false`) — no tombstone is recorded, so stale cancels
+    /// cannot grow state on long replays.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.pending.contains(&id) || !self.cancelled.insert(id) {
-            return false;
+        let Some(idx) = id.0.checked_sub(self.flag_base) else {
+            return false; // arrival lane or already trimmed (delivered)
+        };
+        match self.flags.get_mut(idx as usize) {
+            Some(f) if *f == FLAG_PENDING => *f = FLAG_CANCELLED,
+            _ => return false,
         }
+        self.live_cancelled += 1;
         // Tombstone compaction: when cancelled entries outnumber the live
         // ones, rebuild the heap without them. O(heap), amortized O(1) per
         // cancel; keeps epoch-bumped Finish/Kill tombstones from dominating
-        // the heap under heavy preemption. The threshold reads are hoisted
-        // into locals so the common no-compaction path is one compare and
-        // a never-taken branch into the `#[cold]` rebuild.
-        let tombstones = self.cancelled.len();
-        let heap_len = self.heap.len();
-        if tombstones * 2 > heap_len {
+        // the heap under heavy preemption.
+        if self.live_cancelled * 2 > self.heap.len() {
             self.compact();
         }
         true
+    }
+
+    /// Trim delivered/reclaimed flags off the ring front so it only spans
+    /// the oldest-undelivered..newest window.
+    #[inline]
+    fn trim_flags(&mut self) {
+        while let Some(&f) = self.flags.front() {
+            if f == FLAG_PENDING || f == FLAG_CANCELLED {
+                break;
+            }
+            self.flags.pop_front();
+            self.flag_base += 1;
+        }
     }
 
     /// Drop every cancelled entry from the heap in one pass. Cold: at most
@@ -134,11 +219,19 @@ impl<E> EventQueue<E> {
     #[inline(never)]
     fn compact(&mut self) {
         let entries = std::mem::take(&mut self.heap).into_vec();
+        let flag_base = self.flag_base;
+        let flags = &mut self.flags;
         let live: Vec<Entry<E>> = entries
             .into_iter()
             .filter(|e| {
-                if self.cancelled.remove(&e.id) {
-                    self.pending.remove(&e.id);
+                let cancelled = e
+                    .seq
+                    .checked_sub(flag_base)
+                    .and_then(|i| flags.get_mut(i as usize))
+                    .filter(|f| **f == FLAG_CANCELLED);
+                if let Some(f) = cancelled {
+                    *f = FLAG_RECLAIMED;
+                    self.live_cancelled -= 1;
                     self.n_cancelled_popped += 1;
                     false
                 } else {
@@ -146,20 +239,34 @@ impl<E> EventQueue<E> {
                 }
             })
             .collect();
-        debug_assert!(self.cancelled.is_empty());
+        debug_assert_eq!(self.live_cancelled, 0);
         self.heap = BinaryHeap::from(live);
+        self.trim_flags();
     }
 
     /// Pop the next live event, skipping cancelled entries.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
         while let Some(entry) = self.heap.pop() {
-            self.pending.remove(&entry.id);
-            if self.cancelled.remove(&entry.id) {
-                self.n_cancelled_popped += 1;
-                continue;
+            if entry.seq >= DYN_SEQ_BASE {
+                let idx = (entry.seq - self.flag_base) as usize;
+                let f = &mut self.flags[idx];
+                if *f == FLAG_CANCELLED {
+                    *f = FLAG_RECLAIMED;
+                    self.live_cancelled -= 1;
+                    self.n_cancelled_popped += 1;
+                    if idx == 0 {
+                        self.trim_flags();
+                    }
+                    continue;
+                }
+                debug_assert_eq!(*f, FLAG_PENDING);
+                *f = FLAG_DELIVERED;
+                if idx == 0 {
+                    self.trim_flags();
+                }
             }
             self.watermark = entry.time;
-            return Some((entry.time, entry.id, entry.event));
+            return Some((entry.time, EventId(entry.seq), entry.event));
         }
         None
     }
@@ -168,11 +275,17 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         loop {
             let head = self.heap.peek()?;
-            if self.cancelled.contains(&head.id) {
+            let cancelled = head.seq >= DYN_SEQ_BASE
+                && self.flags[(head.seq - self.flag_base) as usize] == FLAG_CANCELLED;
+            if cancelled {
                 let e = self.heap.pop().expect("peeked entry exists");
-                self.pending.remove(&e.id);
-                self.cancelled.remove(&e.id);
+                let idx = (e.seq - self.flag_base) as usize;
+                self.flags[idx] = FLAG_RECLAIMED;
+                self.live_cancelled -= 1;
                 self.n_cancelled_popped += 1;
+                if idx == 0 {
+                    self.trim_flags();
+                }
                 continue;
             }
             return Some(head.time);
@@ -187,16 +300,16 @@ impl<E> EventQueue<E> {
 
     /// Exact number of live (non-cancelled) events.
     pub fn live_len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.live_cancelled
     }
 
     pub fn is_empty(&mut self) -> bool {
         self.peek_time().is_none()
     }
 
-    /// Total events ever scheduled.
+    /// Total events ever scheduled, across both lanes.
     pub fn scheduled_total(&self) -> u64 {
-        self.next_seq
+        (self.next_seq - DYN_SEQ_BASE) + self.next_arrival_seq
     }
 
     /// Cancelled entries reclaimed so far (skipped during pops or dropped
@@ -207,7 +320,7 @@ impl<E> EventQueue<E> {
 
     /// Cancelled entries still buried in the heap (not yet reclaimed).
     pub fn cancelled_pending(&self) -> usize {
-        self.cancelled.len()
+        self.live_cancelled
     }
 
     /// The delivery high-water mark (time of the most recent pop).
@@ -266,6 +379,7 @@ mod tests {
     fn cancel_unknown_id_is_noop() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(42)));
+        assert!(!q.cancel(EventId(DYN_SEQ_BASE + 42)));
     }
 
     #[test]
@@ -370,5 +484,119 @@ mod tests {
         // Conservation: every scheduled event was delivered or reclaimed.
         assert_eq!(q.scheduled_total(), 128);
         assert_eq!(q.cancelled_skipped(), 100);
+    }
+
+    #[test]
+    fn flag_ring_stays_bounded_by_undelivered_window() {
+        // Delivering in order trims the ring front, so steady-state churn
+        // (schedule one, pop one) keeps the flag ring at O(live) even
+        // though sequence numbers grow without bound.
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(t(i), i);
+            q.pop();
+        }
+        assert!(q.flags.len() <= 1, "flag ring grew: {}", q.flags.len());
+    }
+
+    // ------------------------------------------------------------------
+    // Arrival lane
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn arrival_lane_wins_same_time_ties() {
+        // A dynamic event scheduled *before* the arrival still loses the
+        // same-instant tie: arrival seqs are below every dynamic seq, so
+        // lazy injection is indistinguishable from pre-seeding the trace
+        // into a fresh queue.
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "dyn0");
+        q.schedule_arrival(t(5), "arr0");
+        q.schedule_arrival(t(5), "arr1");
+        q.schedule(t(5), "dyn1");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, vec!["arr0", "arr1", "dyn0", "dyn1"]);
+    }
+
+    #[test]
+    fn arrival_lane_orders_by_injection_sequence() {
+        let mut q = EventQueue::new();
+        q.schedule_arrival(t(3), "n1");
+        q.schedule_arrival(t(3), "s1");
+        q.schedule_arrival(t(7), "s2");
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("n1"));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("s1"));
+        // Interleave a dynamic event between arrivals.
+        q.schedule(t(5), "dyn");
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("dyn"));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("s2"));
+    }
+
+    #[test]
+    fn arrival_events_are_not_cancellable() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_arrival(t(1), "a");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("a"));
+    }
+
+    #[test]
+    fn scheduled_total_counts_both_lanes() {
+        let mut q = EventQueue::new();
+        q.schedule_arrival(t(1), ());
+        q.schedule(t(1), ());
+        q.schedule_arrival(t(2), ());
+        assert_eq!(q.scheduled_total(), 3);
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn lazy_injection_matches_preseeded_order() {
+        // The invariant the streaming driver relies on: injecting arrivals
+        // lane-by-lane as time advances yields the same delivery order as
+        // pre-seeding everything up front, including same-time ties with
+        // dynamic events scheduled mid-run.
+        let arrivals = [(1u64, "a0"), (4, "a1"), (4, "a2"), (9, "a3")];
+        // Pre-seeded run.
+        let mut pre = EventQueue::new();
+        for (ts, e) in arrivals {
+            pre.schedule_arrival(t(ts), e);
+        }
+        let mut pre_order = vec![];
+        while let Some((ts, _, e)) = pre.pop() {
+            pre_order.push(e);
+            if e == "a0" {
+                pre.schedule(t(4), "dyn@4");
+            }
+            let _ = ts;
+        }
+        // Lazily injected run: each arrival goes in only when the virtual
+        // clock is about to reach it.
+        let mut lazy = EventQueue::new();
+        let mut pending = arrivals.iter().peekable();
+        let mut lazy_order = vec![];
+        loop {
+            while let Some(&&(ts, e)) = pending.peek() {
+                let head = lazy.peek_time();
+                if head.is_none() || t(ts) <= head.unwrap() {
+                    lazy.schedule_arrival(t(ts), e);
+                    pending.next();
+                } else {
+                    break;
+                }
+            }
+            match lazy.pop() {
+                Some((_, _, e)) => {
+                    lazy_order.push(e);
+                    if e == "a0" {
+                        lazy.schedule(t(4), "dyn@4");
+                    }
+                }
+                None => break,
+            }
+        }
+        assert_eq!(pre_order, lazy_order);
+        assert_eq!(pre_order, vec!["a0", "a1", "a2", "dyn@4", "a3"]);
     }
 }

@@ -20,6 +20,7 @@ pub mod dist;
 pub mod gen;
 pub mod ids;
 pub mod job;
+pub mod source;
 pub mod stats;
 pub mod swf;
 pub mod trace;
@@ -27,5 +28,9 @@ pub mod trace;
 pub use gen::{NoticeMix, TraceConfig};
 pub use ids::{JobId, ProjectId};
 pub use job::{JobClass, JobKind, JobSpec, NoticeCategory, NoticeSpec};
-pub use swf::{import_swf, import_swf_reader, to_swf, SwfError, SwfExportConfig, SwfImportConfig};
+pub use source::{JobSource, MaterializedSource, SwfStreamSource};
+pub use swf::{
+    import_swf, import_swf_reader, to_swf, to_swf_writer, SwfError, SwfExportConfig,
+    SwfImportConfig,
+};
 pub use trace::Trace;

@@ -1,0 +1,458 @@
+//! Streaming job sources: the driver-facing abstraction that decouples
+//! replay from a fully materialized [`Trace`].
+//!
+//! A [`JobSource`] yields jobs in trace order — ascending `(submit, id)` —
+//! exactly once each. The simulator pulls from it lazily as virtual time
+//! advances, so resident memory is O(active jobs), not O(trace length):
+//!
+//! * [`MaterializedSource`] adapts an in-memory [`Trace`] (the classic
+//!   path, and the reference behavior streaming must match bitwise);
+//! * [`SwfStreamSource`] reads an `HWS-Embedded` SWF export line by line
+//!   off disk, so a million-job archive never has to fit in memory.
+//!
+//! ## The notice-lookahead bound
+//!
+//! A job's earliest simulator event is its advance notice, which may
+//! precede its submission by up to [`JobSource::max_notice_lead`] seconds
+//! (`JobSpec::validate` proves `notice_time ≤ submit` and the bound is the
+//! maximum gap). A streaming driver that has pulled every job with
+//! `submit ≤ t + max_notice_lead` therefore holds *every* trace event up
+//! to time `t` — the invariant that makes lazy injection deliver events in
+//! exactly the order a pre-seeded queue would. Overestimating the bound
+//! only costs a little extra lookahead memory; underestimating it would
+//! break replay ordering, so sources must never under-report it.
+//!
+//! Plain (non-embedded) SWF logs cannot be streamed: the §IV-A class
+//! assignment is a whole-file protocol (global project shuffle, re-sort,
+//! relabel). Convert them once via `import_swf` + [`crate::to_swf_writer`]
+//! and stream the embedded export.
+
+use crate::swf::{parse_embedded_line, SwfError};
+use crate::trace::Trace;
+use crate::JobSpec;
+use hws_sim::{SimDuration, SimTime};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+
+/// An ordered stream of jobs for replay. See the module docs for the
+/// ordering and lookahead contracts.
+pub trait JobSource {
+    /// Total nodes of the target system.
+    fn system_size(&self) -> u32;
+
+    /// Upper bound on `submit − notice_time` over every job this source
+    /// will ever yield (see the module docs). Must not under-report.
+    fn max_notice_lead(&self) -> SimDuration;
+
+    /// Pull the next job, in ascending `(submit, id)` order. `None` means
+    /// the stream is exhausted for good.
+    fn next_job(&mut self) -> Option<JobSpec>;
+}
+
+impl<S: JobSource + ?Sized> JobSource for &mut S {
+    fn system_size(&self) -> u32 {
+        (**self).system_size()
+    }
+    fn max_notice_lead(&self) -> SimDuration {
+        (**self).max_notice_lead()
+    }
+    fn next_job(&mut self) -> Option<JobSpec> {
+        (**self).next_job()
+    }
+}
+
+/// [`JobSource`] view of an in-memory [`Trace`]: yields clones of the
+/// trace's jobs in order. The reference implementation — a streaming
+/// source over the same jobs must replay bitwise-identically to this.
+pub struct MaterializedSource<'a> {
+    trace: &'a Trace,
+    pos: usize,
+    lead: SimDuration,
+}
+
+impl<'a> MaterializedSource<'a> {
+    pub fn new(trace: &'a Trace) -> Self {
+        MaterializedSource {
+            trace,
+            pos: 0,
+            lead: trace.max_notice_lead(),
+        }
+    }
+}
+
+impl JobSource for MaterializedSource<'_> {
+    fn system_size(&self) -> u32 {
+        self.trace.system_size
+    }
+
+    fn max_notice_lead(&self) -> SimDuration {
+        self.lead
+    }
+
+    fn next_job(&mut self) -> Option<JobSpec> {
+        let job = self.trace.jobs.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(job)
+    }
+}
+
+/// Streaming reader of an `HWS-Embedded` SWF export: one [`JobSpec`] per
+/// data line, parsed on demand, O(1) resident state.
+///
+/// The file's headers must declare `; HWS-Embedded: 1` before the first
+/// data line; `; HWS-SystemSize:` (or `; MaxNodes:`) supplies the machine
+/// and `; HWS-MaxNoticeLead:` the lookahead bound. Exports written by
+/// [`crate::to_swf_writer`] carry all three. [`SwfStreamSource::open`]
+/// falls back to a pre-scan of the file when the lead header is missing
+/// (older exports); [`SwfStreamSource::from_reader`] has no second pass to
+/// fall back on and rejects such inputs instead.
+///
+/// # Panics
+///
+/// [`JobSource::next_job`] panics on IO errors, malformed data lines, jobs
+/// out of `(submit, id)` order, or jobs wider than the system — a corrupt
+/// archive mid-replay has no meaningful recovery.
+#[derive(Debug)]
+pub struct SwfStreamSource<R: BufRead> {
+    reader: R,
+    /// 1-based line number of the last line read (for error messages).
+    line: usize,
+    system_size: u32,
+    lead: SimDuration,
+    /// First data line, consumed while scanning headers.
+    peeked: Option<JobSpec>,
+    last_key: Option<(SimTime, u64)>,
+    done: bool,
+}
+
+impl SwfStreamSource<std::io::BufReader<std::fs::File>> {
+    /// Open `path` for streaming replay. When the export predates the
+    /// `HWS-MaxNoticeLead` header, the file is pre-scanned once to compute
+    /// the bound (still O(1) memory).
+    ///
+    /// # Errors
+    ///
+    /// IO failures, a missing/disabled `HWS-Embedded` header, malformed
+    /// headers, or a malformed first data line.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, SwfError> {
+        let path = path.into();
+        let open = |p: &Path| {
+            std::fs::File::open(p)
+                .map(std::io::BufReader::new)
+                .map_err(|e| SwfError {
+                    line: 0,
+                    message: format!("open {}: {e}", p.display()),
+                })
+        };
+        match Self::from_reader(open(&path)?) {
+            Ok(src) => Ok(src),
+            Err(e) if e.message.contains("HWS-MaxNoticeLead") => {
+                let lead = scan_max_notice_lead(open(&path)?)?;
+                Self::from_reader_with_lead(open(&path)?, lead)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<R: BufRead> SwfStreamSource<R> {
+    /// Build a streaming source from any reader; requires the
+    /// `HWS-MaxNoticeLead` header (see [`SwfStreamSource::open`] for the
+    /// pre-scan fallback available on files).
+    ///
+    /// # Errors
+    ///
+    /// IO failures, missing `HWS-Embedded`/size/lead headers, or a
+    /// malformed first data line.
+    pub fn from_reader(reader: R) -> Result<Self, SwfError> {
+        Self::build(reader, None)
+    }
+
+    /// Build a streaming source with an explicitly supplied notice-lead
+    /// bound, overriding (or standing in for) the file header. The caller
+    /// must not under-report the bound.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SwfStreamSource::from_reader`], minus the lead-header
+    /// requirement.
+    pub fn from_reader_with_lead(reader: R, lead: SimDuration) -> Result<Self, SwfError> {
+        Self::build(reader, Some(lead))
+    }
+
+    fn build(mut reader: R, lead_override: Option<SimDuration>) -> Result<Self, SwfError> {
+        let mut line_no = 0usize;
+        let mut embedded = false;
+        let mut system_size: Option<u32> = None;
+        let mut lead: Option<SimDuration> = lead_override;
+        let mut peeked = None;
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            let n = reader.read_line(&mut buf).map_err(|e| SwfError {
+                line: line_no + 1,
+                message: format!("read error: {e}"),
+            })?;
+            if n == 0 {
+                break; // header-only (empty) archive
+            }
+            line_no += 1;
+            let line = buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix(';') {
+                let comment = comment.trim();
+                if let Some(v) = comment.strip_prefix("HWS-Embedded:") {
+                    embedded = v.trim() == "1";
+                } else if let Some(v) = comment.strip_prefix("HWS-SystemSize:") {
+                    system_size = v.trim().parse().ok();
+                } else if let Some(v) = comment.strip_prefix("HWS-MaxNoticeLead:") {
+                    if lead_override.is_none() {
+                        lead = v.trim().parse().ok().map(SimDuration::from_secs);
+                    }
+                } else if let Some(v) = comment.strip_prefix("MaxNodes:") {
+                    if system_size.is_none() {
+                        system_size = v.trim().parse().ok();
+                    }
+                }
+                continue;
+            }
+            // First data line: headers are over.
+            if !embedded {
+                return Err(SwfError {
+                    line: line_no,
+                    message: "streaming replay requires an HWS-Embedded export \
+                              (plain SWF class assignment is a whole-file protocol; \
+                              convert via import_swf + to_swf_writer)"
+                        .into(),
+                });
+            }
+            peeked = Some(parse_embedded_line(line, line_no)?);
+            break;
+        }
+        let system_size = system_size.ok_or(SwfError {
+            line: 0,
+            message: "missing HWS-SystemSize / MaxNodes header".into(),
+        })?;
+        let lead = lead.ok_or(SwfError {
+            line: 0,
+            message: "missing HWS-MaxNoticeLead header (pre-scan the file or \
+                      supply the bound via from_reader_with_lead)"
+                .into(),
+        })?;
+        Ok(SwfStreamSource {
+            reader,
+            line: line_no,
+            system_size,
+            lead,
+            peeked,
+            last_key: None,
+            done: false,
+        })
+    }
+
+    fn read_data_line(&mut self) -> Option<JobSpec> {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            let n = self
+                .reader
+                .read_line(&mut buf)
+                .unwrap_or_else(|e| panic!("SWF stream line {}: read error: {e}", self.line + 1));
+            if n == 0 {
+                return None;
+            }
+            self.line += 1;
+            let line = buf.trim();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            return Some(parse_embedded_line(line, self.line).unwrap_or_else(|e| panic!("{e}")));
+        }
+    }
+}
+
+impl<R: BufRead> JobSource for SwfStreamSource<R> {
+    fn system_size(&self) -> u32 {
+        self.system_size
+    }
+
+    fn max_notice_lead(&self) -> SimDuration {
+        self.lead
+    }
+
+    fn next_job(&mut self) -> Option<JobSpec> {
+        if self.done {
+            return None;
+        }
+        let job = match self.peeked.take().or_else(|| self.read_data_line()) {
+            Some(j) => j,
+            None => {
+                self.done = true;
+                return None;
+            }
+        };
+        if let Err(e) = job.validate(self.system_size) {
+            panic!("SWF stream line {}: invalid job: {e}", self.line);
+        }
+        let key = (job.submit, job.id.0);
+        if let Some(last) = self.last_key {
+            assert!(
+                last <= key,
+                "SWF stream line {}: jobs out of (submit, id) order",
+                self.line
+            );
+        }
+        if let Some(n) = &job.notice {
+            assert!(
+                job.submit.since(n.notice_time) <= self.lead,
+                "SWF stream line {}: notice lead exceeds declared bound",
+                self.line
+            );
+        }
+        self.last_key = Some(key);
+        Some(job)
+    }
+}
+
+/// One O(1)-memory pass over an embedded export computing the
+/// `max(submit − notice_time)` bound, for files predating the
+/// `HWS-MaxNoticeLead` header.
+///
+/// # Errors
+///
+/// IO failures or malformed data lines.
+pub fn scan_max_notice_lead<R: BufRead>(reader: R) -> Result<SimDuration, SwfError> {
+    let mut max = SimDuration::ZERO;
+    for (idx, line) in reader.lines().enumerate() {
+        let ln = idx + 1;
+        let line = line.map_err(|e| SwfError {
+            line: ln,
+            message: format!("read error: {e}"),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let job = parse_embedded_line(line, ln)?;
+        if let Some(n) = &job.notice {
+            max = max.max(job.submit.since(n.notice_time));
+        }
+    }
+    Ok(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceConfig;
+    use crate::swf::{to_swf, SwfExportConfig};
+
+    fn embedded(trace: &Trace) -> String {
+        to_swf(trace, &SwfExportConfig::default())
+    }
+
+    fn drain(mut src: impl JobSource) -> Vec<JobSpec> {
+        std::iter::from_fn(|| src.next_job()).collect()
+    }
+
+    #[test]
+    fn materialized_source_yields_trace_in_order() {
+        let tr = TraceConfig::tiny().generate(3);
+        let jobs = drain(MaterializedSource::new(&tr));
+        assert_eq!(jobs, tr.jobs);
+    }
+
+    #[test]
+    fn stream_source_matches_materialized() {
+        let tr = TraceConfig::tiny().generate(5);
+        let swf = embedded(&tr);
+        let src = SwfStreamSource::from_reader(swf.as_bytes()).expect("headers");
+        assert_eq!(src.system_size(), tr.system_size);
+        assert_eq!(src.max_notice_lead(), tr.max_notice_lead());
+        assert_eq!(drain(src), tr.jobs);
+    }
+
+    #[test]
+    fn stream_source_carries_notice_lead_header() {
+        let tr = TraceConfig::tiny().generate(1);
+        assert!(
+            tr.max_notice_lead() > SimDuration::ZERO,
+            "tiny seed 1 must contain noticed on-demand jobs"
+        );
+        let swf = embedded(&tr);
+        assert!(swf.contains("; HWS-MaxNoticeLead: "));
+        let src = SwfStreamSource::from_reader(swf.as_bytes()).expect("headers");
+        assert_eq!(src.max_notice_lead(), tr.max_notice_lead());
+    }
+
+    #[test]
+    fn stream_source_rejects_plain_exports() {
+        let tr = TraceConfig::tiny().generate(2);
+        let plain = to_swf(
+            &tr,
+            &SwfExportConfig {
+                embed_classes: false,
+                procs_per_node: 1,
+            },
+        );
+        let err = SwfStreamSource::from_reader(plain.as_bytes()).unwrap_err();
+        assert!(err.message.contains("HWS-Embedded"), "{err}");
+    }
+
+    #[test]
+    fn missing_lead_header_is_rejected_without_prescan() {
+        let tr = TraceConfig::tiny().generate(2);
+        let swf: String = embedded(&tr)
+            .lines()
+            .filter(|l| !l.starts_with("; HWS-MaxNoticeLead"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = SwfStreamSource::from_reader(swf.as_bytes()).unwrap_err();
+        assert!(err.message.contains("HWS-MaxNoticeLead"), "{err}");
+        // The scan fallback computes the exact bound.
+        let lead = scan_max_notice_lead(swf.as_bytes()).expect("scan");
+        assert_eq!(lead, tr.max_notice_lead());
+        let src =
+            SwfStreamSource::from_reader_with_lead(swf.as_bytes(), lead).expect("explicit lead");
+        assert_eq!(drain(src), tr.jobs);
+    }
+
+    #[test]
+    fn open_falls_back_to_prescan_for_old_exports() {
+        let tr = TraceConfig::tiny().generate(1);
+        let swf: String = embedded(&tr)
+            .lines()
+            .filter(|l| !l.starts_with("; HWS-MaxNoticeLead"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let dir = std::env::temp_dir().join(format!("hws_src_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("old_export.swf");
+        std::fs::write(&path, swf).expect("write");
+        let src = SwfStreamSource::open(&path).expect("open with prescan");
+        assert_eq!(src.max_notice_lead(), tr.max_notice_lead());
+        assert_eq!(drain(src), tr.jobs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (submit, id) order")]
+    fn stream_source_panics_on_disordered_jobs() {
+        let tr = TraceConfig::tiny().generate(4);
+        let mut lines: Vec<String> = embedded(&tr).lines().map(String::from).collect();
+        let first_data = lines.iter().position(|l| !l.starts_with(';')).unwrap();
+        lines.swap(first_data, first_data + 1);
+        let swf = lines.join("\n");
+        let src = SwfStreamSource::from_reader(swf.as_bytes()).expect("headers");
+        let _ = drain(src);
+    }
+
+    #[test]
+    fn empty_archive_streams_no_jobs() {
+        let swf = "; HWS-Embedded: 1\n; HWS-SystemSize: 64\n; HWS-MaxNoticeLead: 0\n";
+        let src = SwfStreamSource::from_reader(swf.as_bytes()).expect("headers");
+        assert_eq!(drain(src).len(), 0);
+    }
+}

@@ -329,7 +329,7 @@ fn parse_plain_line(
 
 /// Parse one `HWS-Embedded` data line back into the exact [`JobSpec`] that
 /// [`to_swf`] serialised (see the module docs for the field map).
-fn parse_embedded_line(line: &str, ln: usize) -> Result<JobSpec, SwfError> {
+pub(crate) fn parse_embedded_line(line: &str, ln: usize) -> Result<JobSpec, SwfError> {
     let f = parse_fields(line, ln, 18)?;
     let err = |message: String| SwfError { line: ln, message };
     let id = field_num(&f, 0, ln, "job number")?;
@@ -538,28 +538,54 @@ fn synthesize_notice(
 }
 
 /// Serialise a trace to SWF (see the module docs for the embedded-mode
-/// field map; plain mode keeps only the standard raw fields).
+/// field map; plain mode keeps only the standard raw fields). Thin wrapper
+/// over the streaming [`to_swf_writer`] for callers that want a `String`.
 pub fn to_swf(trace: &Trace, cfg: &SwfExportConfig) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::with_capacity(80 * (trace.jobs.len() + 8));
-    out.push_str("; HWS SWF export v1\n");
+    let mut out = Vec::with_capacity(80 * (trace.jobs.len() + 8));
+    to_swf_writer(trace, cfg, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("SWF export is ASCII")
+}
+
+/// Streaming SWF export: serialise `trace` line by line into `writer`, so
+/// an archive-scale export never materializes the output in memory. In
+/// embedded mode the headers additionally carry
+/// `; HWS-MaxNoticeLead: <secs>` — the largest `submit − notice_time` gap
+/// in the trace — which lets a streaming replay bound how far ahead of the
+/// virtual clock it must pull jobs to inject advance notices in order.
+///
+/// # Errors
+///
+/// Propagates the first IO error from `writer`.
+pub fn to_swf_writer<W: std::io::Write>(
+    trace: &Trace,
+    cfg: &SwfExportConfig,
+    writer: &mut W,
+) -> std::io::Result<()> {
+    // Buffer per line: one formatted write per job into the writer keeps
+    // syscall counts sane even for unbuffered writers.
+    writer.write_all(b"; HWS SWF export v1\n")?;
     if cfg.embed_classes {
-        out.push_str("; HWS-Embedded: 1\n");
-        let _ = writeln!(out, "; HWS-SystemSize: {}", trace.system_size);
-        let _ = writeln!(out, "; HWS-Horizon: {}", trace.horizon.as_secs());
+        writer.write_all(b"; HWS-Embedded: 1\n")?;
+        writeln!(writer, "; HWS-SystemSize: {}", trace.system_size)?;
+        writeln!(writer, "; HWS-Horizon: {}", trace.horizon.as_secs())?;
+        writeln!(
+            writer,
+            "; HWS-MaxNoticeLead: {}",
+            trace.max_notice_lead().as_secs()
+        )?;
     }
     let ppn = if cfg.embed_classes {
         1
     } else {
         cfg.procs_per_node.max(1)
     };
-    let _ = writeln!(out, "; MaxNodes: {}", trace.system_size);
-    let _ = writeln!(
-        out,
+    writeln!(writer, "; MaxNodes: {}", trace.system_size)?;
+    writeln!(
+        writer,
         "; MaxProcs: {}",
         u64::from(trace.system_size) * u64::from(ppn)
-    );
-    out.push_str("; UnixStartTime: 0\n");
+    )?;
+    writer.write_all(b"; UnixStartTime: 0\n")?;
     for (pos, j) in trace.jobs.iter().enumerate() {
         let procs = u64::from(j.size) * u64::from(ppn);
         if cfg.embed_classes {
@@ -588,8 +614,8 @@ pub fn to_swf(trace: &Trace, cfg: &SwfExportConfig) -> String {
                 ),
                 None => (-1, -1),
             };
-            let _ = writeln!(
-                out,
+            writeln!(
+                writer,
                 "{} {} -1 {} {} -1 -1 {} {} {} 1 {} {} {} {} {} {} {}",
                 j.id.0 + 1,
                 j.submit.as_secs(),
@@ -605,10 +631,10 @@ pub fn to_swf(trace: &Trace, cfg: &SwfExportConfig) -> String {
                 j.min_size,
                 nt,
                 pa
-            );
+            )?;
         } else {
-            let _ = writeln!(
-                out,
+            writeln!(
+                writer,
                 "{} {} -1 {} {} -1 -1 {} {} -1 1 {} {} -1 -1 -1 -1 -1",
                 pos + 1,
                 j.submit.as_secs(),
@@ -618,10 +644,10 @@ pub fn to_swf(trace: &Trace, cfg: &SwfExportConfig) -> String {
                 j.estimate.as_secs(),
                 j.project.0,
                 j.project.0,
-            );
+            )?;
         }
     }
-    out
+    Ok(())
 }
 
 #[cfg(test)]

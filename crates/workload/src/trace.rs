@@ -97,6 +97,20 @@ impl Trace {
         n
     }
 
+    /// Largest `submit − notice_time` gap over all jobs carrying an advance
+    /// notice (zero when none do). A job's earliest simulator event is its
+    /// notice, which [`crate::job::JobSpec::validate`] proves never precedes
+    /// `submit` by more than this bound — so a streaming replay that has
+    /// injected every job with `submit ≤ t + max_notice_lead` is guaranteed
+    /// to hold *all* trace events up to time `t`.
+    pub fn max_notice_lead(&self) -> SimDuration {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.notice.as_ref().map(|n| j.submit.since(n.notice_time)))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     /// Validate every job, the global ordering invariant, and the horizon
     /// invariant (every submission falls inside the horizon).
     ///
