@@ -2,8 +2,9 @@
 //! files against the committed baselines at the workspace root, failing
 //! loudly (with the regeneration recipe) on any drift.
 //!
-//! The CI `baseline-parity` job re-runs `swf_replay`, `throughput`, and
-//! `federated` at quick scale with the baseline seed count, pointing their
+//! The CI `baseline-parity` job re-runs `swf_replay`, `throughput`,
+//! `federated`, `capability`, and `service_replay` at quick scale with
+//! the baseline seed count, pointing their
 //! `HWS_*_JSON` overrides at a scratch directory, then invokes this binary
 //! with that directory:
 //!
@@ -23,6 +24,10 @@
 //!   columns (`source`, `mechanism`, `jobs`, `seeds`,
 //!   `metrics_fingerprint`, `avg_turnaround_h`, `utilization`); the
 //!   wall-clock columns legitimately vary between machines.
+//! * `BENCH_service.json` — field-wise on the deterministic columns
+//!   (`mechanism`, `source`, `jobs`, `seeds`, `metrics_fingerprint`);
+//!   the submit/query/what-if latency percentiles are wall-clock and
+//!   exempt.
 //! * `BENCH_archive_replay.json` — field-wise on the deterministic
 //!   columns (`jobs`, `seeds`, `events`, `metrics_fingerprint`,
 //!   `peak_resident_jobs`), row-matched by `(profile, mechanism)`.
@@ -58,6 +63,16 @@ const ARCHIVE_KEYS: [&str; 5] = [
     "peak_resident_jobs",
 ];
 
+/// Deterministic columns of the live-service baseline (the latency
+/// percentiles are wall-clock).
+const SERVICE_KEYS: [&str; 5] = [
+    "mechanism",
+    "source",
+    "jobs",
+    "seeds",
+    "metrics_fingerprint",
+];
+
 fn main() {
     let regen_dir = std::env::args()
         .nth(1)
@@ -75,11 +90,19 @@ fn main() {
             failures.push((file, e));
         }
     }
-    if let Err(e) = compare_throughput(
+    if let Err(e) = compare_fields(
         &root.join("BENCH_simulator_throughput.json"),
         &regen_dir.join("BENCH_simulator_throughput.json"),
+        &THROUGHPUT_KEYS,
     ) {
         failures.push(("BENCH_simulator_throughput.json", e));
+    }
+    if let Err(e) = compare_fields(
+        &root.join("BENCH_service.json"),
+        &regen_dir.join("BENCH_service.json"),
+        &SERVICE_KEYS,
+    ) {
+        failures.push(("BENCH_service.json", e));
     }
     if let Err(e) = compare_archive(
         &root.join("BENCH_archive_replay.json"),
@@ -103,6 +126,7 @@ fn main() {
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin throughput\n\
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin federated\n\
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin capability\n\
+         \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin service_replay\n\
          \tHWS_SCALE=full HWS_SEEDS=2 cargo run --release -p hws-bench --bin archive_replay\n\
          \n\
          (each binary rewrites its BENCH_*.json at the workspace root), and explain the\n\
@@ -143,7 +167,9 @@ fn compare_bytes(committed: &Path, regenerated: &Path) -> Result<(), String> {
     ))
 }
 
-fn compare_throughput(committed: &Path, regenerated: &Path) -> Result<(), String> {
+/// Field-wise parity on the deterministic columns of a baseline whose
+/// remaining columns are wall-clock (throughput, service latency).
+fn compare_fields(committed: &Path, regenerated: &Path, keys: &[&str]) -> Result<(), String> {
     let committed_json = read(committed)?;
     let regenerated_json = read(regenerated)?;
     let a = rows(&committed_json);
@@ -156,7 +182,7 @@ fn compare_throughput(committed: &Path, regenerated: &Path) -> Result<(), String
         ));
     }
     for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
-        for key in THROUGHPUT_KEYS {
+        for &key in keys {
             let va = field(ra, key);
             let vb = field(rb, key);
             if va != vb {

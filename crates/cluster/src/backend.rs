@@ -30,7 +30,7 @@
 //! [`backfill_avail_for`]: ClusterBackend::backfill_avail_for
 
 use crate::{Cluster, ReleaseOutcome};
-use hws_workload::JobId;
+use hws_workload::{JobId, JobSpec};
 
 /// A resource manager the scheduler driver can run against.
 ///
@@ -81,6 +81,13 @@ pub trait ClusterBackend: std::fmt::Debug + Send {
     /// biggest shard). Jobs above this bound can never start and must be
     /// rejected at submission, or they would wait forever.
     fn max_job_size(&self) -> u32;
+
+    /// Register workload metadata for one job before any placement query
+    /// about it. Batch drivers call this for every job up front; the live
+    /// scheduler service calls it per `submit`. Idempotent — re-noting a
+    /// known job keeps the first registration. A single cluster has no
+    /// routing decisions to inform, so the default is a no-op.
+    fn note_job(&mut self, _spec: &JobSpec) {}
 
     // ------------------------------------------------------------------
     // Aggregate accounting (upper bounds across shards)

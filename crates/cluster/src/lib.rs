@@ -21,6 +21,7 @@ pub mod backend;
 pub mod federation;
 pub mod lease;
 pub mod node;
+pub mod snapshot;
 
 pub use backend::ClusterBackend;
 pub use federation::{
@@ -29,6 +30,7 @@ pub use federation::{
 };
 pub use lease::{Lease, LeaseLedger};
 pub use node::NodeId;
+pub use snapshot::SnapshotBackend;
 
 use hws_workload::JobId;
 use node::NodeState;

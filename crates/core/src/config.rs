@@ -10,7 +10,7 @@ use std::fmt;
 
 /// What the scheduler does when an on-demand advance notice arrives
 /// (§III-B1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NoticeStrategy {
     /// "Do nothing (N)" — ignore notices, handle everything at arrival.
     None,
@@ -27,7 +27,7 @@ pub enum NoticeStrategy {
 
 /// What the scheduler does when an on-demand job actually arrives and the
 /// reserved + free nodes are insufficient (§III-B2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ArrivalStrategy {
     /// "Preempt-at-actual-arrival (PAA)" — preempt running rigid/malleable
     /// jobs in ascending order of preemption overhead.
@@ -38,8 +38,11 @@ pub enum ArrivalStrategy {
     Spaa,
 }
 
-/// A complete scheduling mechanism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// A complete scheduling mechanism. `Ord` follows declaration order
+/// (baseline first, then the hybrid matrix, then custom) so mechanisms can
+/// key `BTreeMap`s — the what-if forecast API reports one predicted start
+/// per mechanism that way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Mechanism {
     /// Plain FCFS/EASY with no special treatment of any class (Table II).
     Baseline,

@@ -59,6 +59,13 @@ impl<B: ClusterBackend> Simulation for SimCore<B> {
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
         match ev {
             Ev::Submit(j) => {
+                // Arrival-lane events are not cancellable, so a live-service
+                // cancel of a still-announced job retires the job and lets
+                // its pending Submit land here; batch replays never hit this
+                // guard (every admitted job is live at its submit).
+                if !self.live(j) {
+                    return;
+                }
                 let spec = self.spec(j).clone();
                 self.rec.job_submitted_full(
                     j,

@@ -25,6 +25,8 @@ mod events;
 pub mod hooks;
 mod pass;
 mod preempt;
+mod service;
+mod snapshot;
 #[cfg(test)]
 mod tests;
 #[cfg(test)]
@@ -38,6 +40,7 @@ pub use hooks::{
     MechanismHooks, NoticeDecision, NoticePolicy, NoticeView, PredictionView, PreemptAtArrival,
     ShrinkThenPreempt,
 };
+pub use service::{replay_submission_log, CancelOutcome, JobStatus, SchedulerService, SubmitError};
 
 use crate::config::{Mechanism, SimConfig};
 use crate::timeline::Timeline;

@@ -13,6 +13,7 @@
 //! linear probe.
 
 use crate::jobstate::JobState;
+use hws_sim::snap::{SnapError, SnapReader, SnapWriter};
 use hws_workload::{JobId, JobSpec};
 
 /// Vacant-bucket sentinel. Job ids are validated against it on admit; no
@@ -291,6 +292,132 @@ impl JobTable {
     pub fn capacity(&self) -> usize {
         self.specs.len()
     }
+
+    /// Append the arena to a snapshot buffer. The slot layout and the free
+    /// list's stack order are data, not incidentals: future admissions pop
+    /// slots in free-list order, so an exact restore keeps every later
+    /// `spec_idx` assignment identical to the uninterrupted run.
+    pub fn encode_snap(&self, w: &mut SnapWriter) {
+        w.put_len(self.specs.len());
+        for i in 0..self.specs.len() {
+            w.put_bool(self.occupied[i]);
+            if self.occupied[i] {
+                self.specs[i].encode_snap(w);
+                self.states[i].encode_snap(w);
+            }
+        }
+        w.put_len(self.free.len());
+        for &s in &self.free {
+            w.put_u32(s);
+        }
+        w.put_len(self.peak_live);
+        w.put_u64(self.admitted);
+    }
+
+    /// Decode an arena written by [`JobTable::encode_snap`], rebuilding the
+    /// id→slot index from the occupied slots.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, free-list entries that are out of range / occupied /
+    /// duplicated, a free list that does not cover every vacant slot,
+    /// duplicate or sentinel job ids, states whose id or slot index
+    /// disagree with their spec, or counters below the live population.
+    /// Never panics.
+    pub fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n_slots = r.get_len()?;
+        if n_slots > r.remaining() {
+            return Err(r.err(format!("implausible slot count {n_slots}")));
+        }
+        let mut specs = Vec::with_capacity(n_slots);
+        let mut states = Vec::with_capacity(n_slots);
+        let mut occupied = Vec::with_capacity(n_slots);
+        let mut index = JobIndex::with_log2(6);
+        let mut n_live = 0usize;
+        for slot in 0..n_slots {
+            let occ = r.get_bool()?;
+            occupied.push(occ);
+            if occ {
+                let spec = JobSpec::decode_snap(r)?;
+                let state = JobState::decode_snap(r)?;
+                if state.id != spec.id {
+                    return Err(r.err(format!(
+                        "slot {slot}: state id {} disagrees with spec id {}",
+                        state.id, spec.id
+                    )));
+                }
+                if state.spec_idx != slot {
+                    return Err(r.err(format!(
+                        "slot {slot}: state carries spec_idx {}",
+                        state.spec_idx
+                    )));
+                }
+                if spec.id.0 == EMPTY {
+                    return Err(r.err("job id collides with the vacancy sentinel"));
+                }
+                if index.get(spec.id.0).is_some() {
+                    return Err(r.err(format!("duplicate live job {}", spec.id)));
+                }
+                index.insert(spec.id.0, slot as u32);
+                n_live += 1;
+                specs.push(spec);
+                states.push(state);
+            } else {
+                // Placeholder values for a vacant slot (never read until the
+                // slot is reused, exactly like a post-retire slot).
+                let spec = placeholder_spec();
+                states.push(JobState::new(spec.id, slot, &spec));
+                specs.push(spec);
+            }
+        }
+        let n_free = r.get_len()?;
+        if n_free != n_slots - n_live {
+            return Err(r.err(format!(
+                "free list holds {n_free} slots but {} are vacant",
+                n_slots - n_live
+            )));
+        }
+        let mut free = Vec::with_capacity(n_free);
+        let mut on_free_list = vec![false; n_slots];
+        for _ in 0..n_free {
+            let s = r.get_u32()?;
+            let Some(seen) = on_free_list.get_mut(s as usize) else {
+                return Err(r.err(format!("free slot {s} out of range")));
+            };
+            if occupied[s as usize] {
+                return Err(r.err(format!("free list names occupied slot {s}")));
+            }
+            if std::mem::replace(seen, true) {
+                return Err(r.err(format!("slot {s} on the free list twice")));
+            }
+            free.push(s);
+        }
+        let peak_live = r.get_len()?;
+        if peak_live < n_live {
+            return Err(r.err(format!("peak_live {peak_live} below live count {n_live}")));
+        }
+        let admitted = r.get_u64()?;
+        if admitted < n_live as u64 {
+            return Err(r.err(format!("admitted {admitted} below live count {n_live}")));
+        }
+        Ok(JobTable {
+            specs,
+            states,
+            occupied,
+            free,
+            index,
+            n_live,
+            peak_live,
+            admitted,
+        })
+    }
+}
+
+/// Filler for vacant arena slots on restore. The values are never read:
+/// every lookup goes through the id index, which only knows occupied
+/// slots, and a reused slot is overwritten wholesale by `admit`.
+fn placeholder_spec() -> JobSpec {
+    hws_workload::job::JobSpecBuilder::rigid(0).build()
 }
 
 #[cfg(test)]
@@ -391,6 +518,64 @@ mod tests {
             assert!(t.is_live(JobId(id)));
         }
         assert_eq!(t.live(), alive.len());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_slots_and_free_list_order() {
+        let mut t = JobTable::new();
+        for id in 0..12u64 {
+            t.admit(spec(id));
+        }
+        // Retire out of order so the free-list stack order is nontrivial.
+        for id in [5u64, 2, 9, 7] {
+            t.retire(JobId(id));
+        }
+        t.state_mut(JobId(3)).epoch = 17;
+        let mut w = SnapWriter::new();
+        t.encode_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut back = JobTable::decode_snap(&mut r).expect("decode");
+        r.expect_end().expect("fully consumed");
+        assert_eq!(back.live(), t.live());
+        assert_eq!(back.peak_live(), t.peak_live());
+        assert_eq!(back.admitted(), t.admitted());
+        assert_eq!(back.capacity(), t.capacity());
+        assert_eq!(back.state(JobId(3)).epoch, 17);
+        for id in [5u64, 2, 9, 7] {
+            assert!(!back.is_live(JobId(id)));
+        }
+        // The free list must pop in the original stack order, so admissions
+        // after restore land in the same slots an uninterrupted run would
+        // have used.
+        let mut live = t.clone();
+        for id in 100..104u64 {
+            assert_eq!(back.admit(spec(id)), live.admit(spec(id)));
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let mut t = JobTable::new();
+        for id in 0..6u64 {
+            t.admit(spec(id));
+        }
+        t.retire(JobId(1));
+        let mut w = SnapWriter::new();
+        t.encode_snap(&mut w);
+        let bytes = w.into_bytes();
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert!(JobTable::decode_snap(&mut r).is_err(), "cut at {cut}");
+        }
+        // Zeroing the admitted counter's low byte drops it below the live
+        // count (6 admitted, 5 live → 0 < 5).
+        let mut bad = bytes.clone();
+        let tail = bad.len();
+        bad[tail - 8] = 0;
+        let mut r = SnapReader::new(&bad);
+        assert!(JobTable::decode_snap(&mut r).is_err());
     }
 
     #[test]

@@ -46,10 +46,11 @@ pub use config::{
     ArrivalStrategy, Mechanism, NoticeStrategy, ShrinkStrategy, SimConfig, VictimOrder,
 };
 pub use driver::{
-    standard_composition, AdmissionView, ArrivalPlan, ArrivalPolicy, ArrivalView, CapabilityAware,
-    CollectUntilArrival, CollectUntilPredicted, Composed, HooksHandle, IgnoreNotices,
-    MechanismHooks, NoticeDecision, NoticePolicy, NoticeView, PredictionView, PreemptAtArrival,
-    ShrinkThenPreempt, SimOutcome, Simulator,
+    replay_submission_log, standard_composition, AdmissionView, ArrivalPlan, ArrivalPolicy,
+    ArrivalView, CancelOutcome, CapabilityAware, CollectUntilArrival, CollectUntilPredicted,
+    Composed, HooksHandle, IgnoreNotices, JobStatus, MechanismHooks, NoticeDecision, NoticePolicy,
+    NoticeView, PredictionView, PreemptAtArrival, SchedulerService, ShrinkThenPreempt, SimOutcome,
+    Simulator, SubmitError,
 };
 pub use failure::FailureConfig;
 pub use jobtable::JobTable;

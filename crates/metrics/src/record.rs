@@ -3,6 +3,7 @@
 
 use crate::classes::ClassAcc;
 use crate::summary::MetricsAcc;
+use hws_sim::snap::{SnapError, SnapReader, SnapWriter};
 use hws_sim::{SimDuration, SimTime};
 use hws_workload::{JobClass, JobId, JobKind, NoticeCategory};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -56,6 +57,80 @@ impl JobRecord {
 
     pub fn completed(&self) -> bool {
         self.finish.is_some() && !self.killed
+    }
+
+    fn encode_snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self.kind {
+            JobKind::Rigid => 0,
+            JobKind::OnDemand => 1,
+            JobKind::Malleable => 2,
+        });
+        w.put_u8(match self.class {
+            JobClass::Capacity => 0,
+            JobClass::Capability => 1,
+        });
+        w.put_u32(self.size);
+        w.put_u64(self.submit.0);
+        w.put_opt_u64(self.first_start.map(|t| t.0));
+        w.put_opt_u64(self.finish.map(|t| t.0));
+        w.put_u32(self.preemptions);
+        w.put_u32(self.shrinks);
+        w.put_u32(self.expands);
+        w.put_opt_u64(self.start_delay.map(|d| d.0));
+        w.put_u8(match self.category {
+            NoticeCategory::NoNotice => 0,
+            NoticeCategory::Accurate => 1,
+            NoticeCategory::Early => 2,
+            NoticeCategory::Late => 3,
+        });
+        w.put_bool(self.killed);
+        w.put_u32(self.failures);
+    }
+
+    fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let kind = match r.get_u8()? {
+            0 => JobKind::Rigid,
+            1 => JobKind::OnDemand,
+            2 => JobKind::Malleable,
+            t => return Err(r.err(format!("bad job kind tag {t}"))),
+        };
+        let class = match r.get_u8()? {
+            0 => JobClass::Capacity,
+            1 => JobClass::Capability,
+            t => return Err(r.err(format!("bad job class tag {t}"))),
+        };
+        let size = r.get_u32()?;
+        let submit = SimTime(r.get_u64()?);
+        let first_start = r.get_opt_u64()?.map(SimTime);
+        let finish = r.get_opt_u64()?.map(SimTime);
+        let preemptions = r.get_u32()?;
+        let shrinks = r.get_u32()?;
+        let expands = r.get_u32()?;
+        let start_delay = r.get_opt_u64()?.map(SimDuration);
+        let category = match r.get_u8()? {
+            0 => NoticeCategory::NoNotice,
+            1 => NoticeCategory::Accurate,
+            2 => NoticeCategory::Early,
+            3 => NoticeCategory::Late,
+            t => return Err(r.err(format!("bad notice category tag {t}"))),
+        };
+        let killed = r.get_bool()?;
+        let failures = r.get_u32()?;
+        Ok(JobRecord {
+            kind,
+            class,
+            size,
+            submit,
+            first_start,
+            finish,
+            preemptions,
+            shrinks,
+            expands,
+            start_delay,
+            category,
+            killed,
+            failures,
+        })
     }
 }
 
@@ -361,6 +436,82 @@ impl Recorder {
         self.saw_capability
     }
 
+    /// Serialize a **retaining** recorder: every record (sorted by job
+    /// id), the occupancy/waste accumulators, the run span, and the
+    /// decision-cost samples, byte-exact. Streaming recorders hold partial
+    /// float folds that cannot round-trip losslessly mid-stream, so the
+    /// live scheduler service (the snapshot consumer) always retains.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the recorder is in streaming mode.
+    pub fn encode_snap(&self, w: &mut SnapWriter) {
+        assert!(
+            matches!(self.retention, Retention::Retain),
+            "snapshotting a streaming recorder is not supported"
+        );
+        w.put_u32(self.system_size);
+        let mut ids: Vec<JobId> = self.records.keys().copied().collect();
+        ids.sort();
+        w.put_len(ids.len());
+        for id in ids {
+            w.put_u64(id.0);
+            self.records[&id].encode_snap(w);
+        }
+        w.put_u64(self.occupied_node_seconds as u64);
+        w.put_u64((self.occupied_node_seconds >> 64) as u64);
+        w.put_u64(self.wasted_node_seconds as u64);
+        w.put_u64((self.wasted_node_seconds >> 64) as u64);
+        w.put_opt_u64(self.first_submit.map(|t| t.0));
+        w.put_opt_u64(self.last_finish.map(|t| t.0));
+        w.put_len(self.decision_nanos.len());
+        for n in &self.decision_nanos {
+            w.put_u64(*n);
+        }
+        w.put_bool(self.saw_capability);
+    }
+
+    /// Decode a recorder written by [`Recorder::encode_snap`]. Malformed
+    /// input errors, never panics.
+    pub fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let system_size = r.get_u32()?;
+        let n = r.get_len()?;
+        let mut records = HashMap::with_capacity(n);
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let id = r.get_u64()?;
+            if prev.is_some_and(|p| p >= id) {
+                return Err(r.err(format!("job records not strictly sorted at {id}")));
+            }
+            prev = Some(id);
+            records.insert(JobId(id), JobRecord::decode_snap(r)?);
+        }
+        let occupied = u128::from(r.get_u64()?) | (u128::from(r.get_u64()?) << 64);
+        let wasted = u128::from(r.get_u64()?) | (u128::from(r.get_u64()?) << 64);
+        let first_submit = r.get_opt_u64()?.map(SimTime);
+        let last_finish = r.get_opt_u64()?.map(SimTime);
+        let n_dec = r.get_len()?;
+        if n_dec > r.remaining() / 8 {
+            return Err(r.err(format!("implausible decision count {n_dec}")));
+        }
+        let mut decision_nanos = Vec::with_capacity(n_dec);
+        for _ in 0..n_dec {
+            decision_nanos.push(r.get_u64()?);
+        }
+        let saw_capability = r.get_bool()?;
+        Ok(Recorder {
+            system_size,
+            retention: Retention::Retain,
+            records,
+            occupied_node_seconds: occupied,
+            wasted_node_seconds: wasted,
+            first_submit,
+            last_finish,
+            decision_nanos,
+            saw_capability,
+        })
+    }
+
     /// Export one CSV row per job (sorted by id) for external analysis.
     pub fn jobs_csv(&self) -> String {
         let mut rows: Vec<(&JobId, &JobRecord)> = self.records.iter().collect();
@@ -490,5 +641,75 @@ mod tests {
         let mut r = Recorder::new(1);
         r.add_decision(std::time::Duration::from_micros(5));
         assert_eq!(r.decision_nanos(), &[5_000]);
+    }
+
+    fn busy_recorder() -> Recorder {
+        let mut r = Recorder::new(128);
+        r.job_submitted_full(
+            JobId(3),
+            JobKind::OnDemand,
+            JobClass::Capability,
+            16,
+            t(50),
+            NoticeCategory::Early,
+        );
+        r.job_submitted(JobId(7), JobKind::Malleable, 32, t(60));
+        r.job_started(JobId(3), t(55));
+        r.job_started(JobId(7), t(80));
+        r.job_shrunk(JobId(7));
+        r.job_expanded(JobId(7));
+        r.job_preempted(JobId(7));
+        r.job_failed(JobId(7));
+        r.job_finished(JobId(3), t(500));
+        r.job_killed(JobId(7), t(700));
+        r.add_occupancy(16, SimDuration::from_secs(445));
+        r.add_waste(4, SimDuration::from_secs(20));
+        r.add_decision(std::time::Duration::from_nanos(1234));
+        r
+    }
+
+    fn encode(r: &Recorder) -> Vec<u8> {
+        let mut w = hws_sim::SnapWriter::new();
+        r.encode_snap(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn snap_codec_round_trips_every_field() {
+        let r = busy_recorder();
+        let bytes = encode(&r);
+        let mut rd = hws_sim::SnapReader::new(&bytes);
+        let back = Recorder::decode_snap(&mut rd).expect("decodes");
+        rd.expect_end().expect("consumed exactly");
+        assert_eq!(back.system_size, r.system_size);
+        assert_eq!(back.get(JobId(3)), r.get(JobId(3)));
+        assert_eq!(back.get(JobId(7)), r.get(JobId(7)));
+        assert_eq!(back.occupied_node_seconds(), r.occupied_node_seconds());
+        assert_eq!(back.wasted_node_seconds(), r.wasted_node_seconds());
+        assert_eq!(back.span(), r.span());
+        assert_eq!(back.decision_nanos(), r.decision_nanos());
+        assert_eq!(back.saw_capability(), r.saw_capability());
+        assert_eq!(encode(&back), bytes, "re-encode must reproduce the bytes");
+        assert_eq!(back.jobs_csv(), r.jobs_csv());
+    }
+
+    #[test]
+    fn snap_decode_rejects_truncation() {
+        let bytes = encode(&busy_recorder());
+        for cut in 0..bytes.len() {
+            let mut rd = hws_sim::SnapReader::new(&bytes[..cut]);
+            assert!(
+                Recorder::decode_snap(&mut rd).is_err() || rd.expect_end().is_err(),
+                "truncation at {cut} must not decode cleanly"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming recorder")]
+    fn snapshotting_streaming_recorder_panics() {
+        let r = Recorder::streaming(10, SimDuration::from_secs(60));
+        let mut w = hws_sim::SnapWriter::new();
+        r.encode_snap(&mut w);
     }
 }

@@ -1,0 +1,147 @@
+//! Clock abstraction separating *virtual* simulated time from optional
+//! *wall-clock pacing*.
+//!
+//! The engine's primitive is `run_until(horizon)`: pop events in
+//! `(time, seq)` order and deliver them. How fast those deliveries happen
+//! in the real world is a policy the engine should not hard-code — batch
+//! replay wants them as fast as the CPU allows, while a live service
+//! shadowing real traffic wants virtual seconds mapped onto wall seconds.
+//! [`Clock`] is that policy: the engine calls [`Clock::pace`] with the
+//! event's virtual timestamp immediately before delivering it, and the
+//! clock may block the calling thread until the corresponding wall instant.
+//!
+//! Pacing never changes *what* happens — event order, handler effects, and
+//! metrics are identical under any clock. It only changes *when* the next
+//! handler runs in wall time, so determinism proofs carry over unchanged.
+
+use crate::time::SimTime;
+use std::time::{Duration, Instant};
+
+/// Delivery pacing policy consulted once per event, just before its handler
+/// runs.
+///
+/// Implementations must not alter virtual time; they may only delay the
+/// calling thread. The engine guarantees `at` is non-decreasing across
+/// calls within one run.
+pub trait Clock {
+    /// Optionally block until the wall instant corresponding to virtual
+    /// time `at`.
+    fn pace(&mut self, at: SimTime);
+}
+
+/// Pure virtual time: never blocks. This is the default clock and the one
+/// every batch experiment runs under.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualClock;
+
+impl Clock for VirtualClock {
+    #[inline]
+    fn pace(&mut self, _at: SimTime) {}
+}
+
+/// Wall-clock pacing: maps virtual seconds onto wall seconds at a fixed
+/// `rate` (virtual seconds per wall second), anchored at the first paced
+/// event.
+///
+/// `rate = 1.0` replays in real time; `rate = 60.0` compresses a minute of
+/// simulated time into each wall second. The clock only ever sleeps — if
+/// delivery falls behind the wall schedule it catches up at full speed
+/// without trying to "repay" the deficit, so a slow handler never distorts
+/// subsequent spacing.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    /// Virtual seconds that elapse per wall-clock second.
+    rate: f64,
+    /// `(wall_anchor, virtual_anchor)` fixed at the first `pace` call.
+    origin: Option<(Instant, SimTime)>,
+}
+
+impl WallClock {
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "wall-clock rate must be finite and positive, got {rate}"
+        );
+        WallClock { rate, origin: None }
+    }
+
+    /// Real-time pacing (one virtual second per wall second).
+    pub fn realtime() -> Self {
+        Self::new(1.0)
+    }
+
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Clock for WallClock {
+    fn pace(&mut self, at: SimTime) {
+        let (anchor, v0) = *self.origin.get_or_insert((Instant::now(), at));
+        // `SimTime::MAX` is the "never" sentinel; treat it as unpaceable
+        // rather than sleeping for eons.
+        if at == SimTime::MAX {
+            return;
+        }
+        let virt = at.since(v0).as_secs() as f64 / self.rate;
+        let target = Duration::from_secs_f64(virt);
+        let elapsed = anchor.elapsed();
+        if let Some(wait) = target.checked_sub(elapsed) {
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_never_blocks() {
+        let mut c = VirtualClock;
+        let start = Instant::now();
+        for t in 0..10_000u64 {
+            c.pace(SimTime::from_secs(t * 3600));
+        }
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn wall_clock_paces_relative_to_first_event() {
+        // 1000 virtual seconds per wall second → 2 virtual seconds of
+        // spacing should cost ~2ms of wall time.
+        let mut c = WallClock::new(1000.0);
+        let start = Instant::now();
+        c.pace(SimTime::from_secs(500)); // anchors; no sleep
+        c.pace(SimTime::from_secs(502));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(2),
+            "paced too fast: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "paced too slow: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn wall_clock_ignores_never_sentinel() {
+        let mut c = WallClock::new(1.0);
+        let start = Instant::now();
+        c.pace(SimTime::from_secs(0));
+        c.pace(SimTime::MAX);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_rate_is_rejected() {
+        WallClock::new(0.0);
+    }
+}

@@ -4,7 +4,13 @@
 //! The handler receives `&mut EventQueue` directly (rather than a callback
 //! context) so that it can schedule follow-up events and cancel stale ones
 //! without borrow gymnastics.
+//!
+//! `run_until` is the primitive; `run_to_completion` is derived from it
+//! (`run_until(SimTime::MAX)`). Delivery pacing is delegated to a [`Clock`]
+//! so a live service can shadow wall time while batch replay stays
+//! flat-out; see [`crate::clock`].
 
+use crate::clock::{Clock, VirtualClock};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -31,18 +37,44 @@ pub struct EngineStats {
 }
 
 /// Event-loop driver owning the future-event list and the model.
-pub struct Engine<S: Simulation> {
+///
+/// Generic over a [`Clock`] pacing policy; the default [`VirtualClock`]
+/// never blocks, so `Engine<S>` behaves exactly as the pure-batch engine
+/// always has.
+pub struct Engine<S: Simulation, C: Clock = VirtualClock> {
     pub queue: EventQueue<S::Event>,
     pub sim: S,
+    clock: C,
     now: SimTime,
     delivered: u64,
 }
 
 impl<S: Simulation> Engine<S> {
     pub fn new(sim: S) -> Self {
+        Engine::with_clock(sim, VirtualClock)
+    }
+
+    /// Reassemble an engine from externally held state (snapshot restore).
+    ///
+    /// `now`/`delivered` must come from the same snapshot as `queue`, or
+    /// the monotonic-time debug assertion in [`Engine::step`] can fire.
+    pub fn from_parts(sim: S, queue: EventQueue<S::Event>, now: SimTime, delivered: u64) -> Self {
+        Engine {
+            queue,
+            sim,
+            clock: VirtualClock,
+            now,
+            delivered,
+        }
+    }
+}
+
+impl<S: Simulation, C: Clock> Engine<S, C> {
+    pub fn with_clock(sim: S, clock: C) -> Self {
         Engine {
             queue: EventQueue::new(),
             sim,
+            clock,
             now: SimTime::ZERO,
             delivered: 0,
         }
@@ -53,11 +85,21 @@ impl<S: Simulation> Engine<S> {
         self.now
     }
 
+    /// Events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
     /// Deliver a single event. Returns `false` when the queue is exhausted.
+    ///
+    /// The clock's [`Clock::pace`] runs after the event is popped and
+    /// before its handler, so a pacing clock delays *delivery*, never the
+    /// simulation's logical behaviour.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             Some((t, _, ev)) => {
                 debug_assert!(t >= self.now, "time went backwards");
+                self.clock.pace(t);
                 self.now = t;
                 self.delivered += 1;
                 self.sim.handle(t, ev, &mut self.queue);
@@ -68,12 +110,31 @@ impl<S: Simulation> Engine<S> {
     }
 
     /// Run until the event queue is empty.
+    ///
+    /// Equivalent to `run_until(SimTime::MAX)`: `SimTime::MAX` is the
+    /// "never" sentinel, and the inclusive horizon contract (see
+    /// [`Engine::run_until`]) means no schedulable event can lie beyond it.
     pub fn run_to_completion(&mut self) -> EngineStats {
-        while self.step() {}
-        self.stats()
+        self.run_until(SimTime::MAX)
     }
 
-    /// Run while events exist and their time is `<= horizon`.
+    /// Run while events exist at time `<= horizon`.
+    ///
+    /// # Horizon semantics (pinned contract)
+    ///
+    /// - **Inclusive**: events scheduled at exactly `horizon` *are*
+    ///   delivered, including follow-ups a handler schedules at `horizon`
+    ///   itself while the run is in progress.
+    /// - **Idempotent**: a repeated call with an equal (or smaller)
+    ///   horizon delivers nothing and changes no state — every remaining
+    ///   event is strictly later than `horizon`.
+    /// - **Clock stays put**: `now()` afterwards is the timestamp of the
+    ///   last *delivered* event, which may be well short of `horizon`; the
+    ///   engine never fast-forwards the clock to an instant where nothing
+    ///   happened.
+    ///
+    /// `SchedulerService::step_until` in `hws-core` inherits this contract
+    /// verbatim.
     pub fn run_until(&mut self, horizon: SimTime) -> EngineStats {
         while let Some(t) = self.queue.peek_time() {
             if t > horizon {
@@ -162,6 +223,77 @@ mod tests {
     }
 
     #[test]
+    fn run_until_is_inclusive_at_exactly_horizon() {
+        // Ping at t=0 schedules Pong at t=1; a horizon of exactly 1 must
+        // deliver both, including the follow-up landing on the horizon.
+        let mut eng = Engine::new(PingPong {
+            remaining: 100,
+            log: vec![],
+        });
+        eng.queue.schedule(SimTime::ZERO, Ev::Ping);
+        let st = eng.run_until(SimTime::from_secs(1));
+        assert_eq!(st.delivered, 2);
+        assert_eq!(
+            eng.sim.log,
+            vec![(SimTime::ZERO, "ping"), (SimTime::from_secs(1), "pong")]
+        );
+        assert_eq!(eng.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn repeated_equal_horizon_is_a_no_op() {
+        let mut eng = Engine::new(PingPong {
+            remaining: 100,
+            log: vec![],
+        });
+        eng.queue.schedule(SimTime::ZERO, Ev::Ping);
+        let first = eng.run_until(SimTime::from_secs(10));
+        let log_len = eng.sim.log.len();
+        let again = eng.run_until(SimTime::from_secs(10));
+        assert_eq!(first, again, "equal-horizon rerun changed stats");
+        assert_eq!(
+            eng.sim.log.len(),
+            log_len,
+            "equal-horizon rerun delivered events"
+        );
+        // A smaller horizon is just as inert.
+        let smaller = eng.run_until(SimTime::from_secs(3));
+        assert_eq!(first, smaller);
+    }
+
+    #[test]
+    fn run_until_does_not_fast_forward_the_clock() {
+        // Last deliverable event is the pong at t=3; a horizon of 100 must
+        // leave `now` at 3, not advance it to the horizon.
+        let mut eng = Engine::new(PingPong {
+            remaining: 1,
+            log: vec![],
+        });
+        eng.queue.schedule(SimTime::ZERO, Ev::Ping);
+        eng.run_until(SimTime::from_secs(100));
+        assert_eq!(eng.now(), SimTime::from_secs(4));
+        assert!(eng.queue.is_empty());
+    }
+
+    #[test]
+    fn run_to_completion_equals_run_until_max() {
+        let run = |to_completion: bool| {
+            let mut eng = Engine::new(PingPong {
+                remaining: 10,
+                log: vec![],
+            });
+            eng.queue.schedule(SimTime::ZERO, Ev::Ping);
+            let st = if to_completion {
+                eng.run_to_completion()
+            } else {
+                eng.run_until(SimTime::MAX)
+            };
+            (st, eng.sim.log)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn stats_track_counts() {
         let mut eng = Engine::new(PingPong {
             remaining: 0,
@@ -172,6 +304,7 @@ mod tests {
         assert_eq!(st.delivered, 2);
         assert_eq!(st.scheduled, 2);
         assert_eq!(st.end_time, SimTime::from_secs(1));
+        assert_eq!(eng.delivered(), 2);
     }
 
     #[test]
@@ -186,5 +319,58 @@ mod tests {
             eng.sim.log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn from_parts_resumes_where_run_until_stopped() {
+        // Split one run at an arbitrary horizon, carry the pieces through
+        // `from_parts`, and finish: the log must match an unbroken run.
+        let unbroken = {
+            let mut eng = Engine::new(PingPong {
+                remaining: 10,
+                log: vec![],
+            });
+            eng.queue.schedule(SimTime::ZERO, Ev::Ping);
+            eng.run_to_completion();
+            (eng.stats(), eng.sim.log)
+        };
+        let mut eng = Engine::new(PingPong {
+            remaining: 10,
+            log: vec![],
+        });
+        eng.queue.schedule(SimTime::ZERO, Ev::Ping);
+        eng.run_until(SimTime::from_secs(9));
+        let now = eng.now();
+        let delivered = eng.delivered();
+        let Engine { queue, sim, .. } = eng;
+        let mut resumed = Engine::from_parts(sim, queue, now, delivered);
+        resumed.run_to_completion();
+        assert_eq!((resumed.stats(), resumed.sim.log), unbroken);
+    }
+
+    #[test]
+    fn wall_clock_engine_delivers_identical_trace() {
+        // Pacing must not perturb behaviour: same log as the virtual run.
+        use crate::clock::WallClock;
+        let virt = {
+            let mut eng = Engine::new(PingPong {
+                remaining: 3,
+                log: vec![],
+            });
+            eng.queue.schedule(SimTime::ZERO, Ev::Ping);
+            eng.run_to_completion();
+            eng.sim.log
+        };
+        // 1e6 virtual seconds per wall second keeps the test instant.
+        let mut eng = Engine::with_clock(
+            PingPong {
+                remaining: 3,
+                log: vec![],
+            },
+            WallClock::new(1e6),
+        );
+        eng.queue.schedule(SimTime::ZERO, Ev::Ping);
+        eng.run_to_completion();
+        assert_eq!(eng.sim.log, virt);
     }
 }

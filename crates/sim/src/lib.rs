@@ -17,10 +17,14 @@
 //! produces an identical event trace — a property the test-suite checks and
 //! the multi-seed experiment harness relies on.
 
+pub mod clock;
 pub mod engine;
 pub mod queue;
+pub mod snap;
 pub mod time;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use engine::{Engine, EngineStats, Simulation};
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, QueueSnapshot};
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

@@ -6,6 +6,7 @@
 //! (remaining work, checkpoints, current size) lives in `hws-core`.
 
 use crate::ids::{JobId, ProjectId};
+use hws_sim::snap::{SnapError, SnapReader, SnapWriter};
 use hws_sim::{SimDuration, SimTime};
 
 /// The three application classes the paper co-schedules.
@@ -279,6 +280,102 @@ impl JobSpec {
         }
         Ok(())
     }
+
+    /// Append the spec to a snapshot buffer (every field, including the
+    /// in-memory-only `site_hint`; the byte codec is lossless where the
+    /// text interchange formats are not).
+    pub fn encode_snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.id.0);
+        w.put_u32(self.project.0);
+        w.put_u8(match self.kind {
+            JobKind::Rigid => 0,
+            JobKind::OnDemand => 1,
+            JobKind::Malleable => 2,
+        });
+        w.put_u64(self.submit.as_secs());
+        w.put_u32(self.size);
+        w.put_u32(self.min_size);
+        w.put_u64(self.work.as_secs());
+        w.put_u64(self.estimate.as_secs());
+        w.put_u64(self.setup.as_secs());
+        match &self.notice {
+            Some(n) => {
+                w.put_u8(1);
+                w.put_u64(n.notice_time.as_secs());
+                w.put_u64(n.predicted_arrival.as_secs());
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u8(match self.category {
+            NoticeCategory::NoNotice => 0,
+            NoticeCategory::Accurate => 1,
+            NoticeCategory::Early => 2,
+            NoticeCategory::Late => 3,
+        });
+        w.put_opt_u32(self.site_hint);
+        w.put_u8(match self.class {
+            JobClass::Capacity => 0,
+            JobClass::Capability => 1,
+        });
+    }
+
+    /// Decode a spec written by [`JobSpec::encode_snap`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or invalid enum tags — never panics.
+    pub fn decode_snap(r: &mut SnapReader<'_>) -> Result<JobSpec, SnapError> {
+        let id = JobId(r.get_u64()?);
+        let project = ProjectId(r.get_u32()?);
+        let kind = match r.get_u8()? {
+            0 => JobKind::Rigid,
+            1 => JobKind::OnDemand,
+            2 => JobKind::Malleable,
+            b => return Err(r.err(format!("bad job kind tag {b}"))),
+        };
+        let submit = SimTime::from_secs(r.get_u64()?);
+        let size = r.get_u32()?;
+        let min_size = r.get_u32()?;
+        let work = SimDuration::from_secs(r.get_u64()?);
+        let estimate = SimDuration::from_secs(r.get_u64()?);
+        let setup = SimDuration::from_secs(r.get_u64()?);
+        let notice = match r.get_u8()? {
+            0 => None,
+            1 => Some(NoticeSpec {
+                notice_time: SimTime::from_secs(r.get_u64()?),
+                predicted_arrival: SimTime::from_secs(r.get_u64()?),
+            }),
+            b => return Err(r.err(format!("bad notice tag {b}"))),
+        };
+        let category = match r.get_u8()? {
+            0 => NoticeCategory::NoNotice,
+            1 => NoticeCategory::Accurate,
+            2 => NoticeCategory::Early,
+            3 => NoticeCategory::Late,
+            b => return Err(r.err(format!("bad category tag {b}"))),
+        };
+        let site_hint = r.get_opt_u32()?;
+        let class = match r.get_u8()? {
+            0 => JobClass::Capacity,
+            1 => JobClass::Capability,
+            b => return Err(r.err(format!("bad class tag {b}"))),
+        };
+        Ok(JobSpec {
+            id,
+            project,
+            kind,
+            submit,
+            size,
+            min_size,
+            work,
+            estimate,
+            setup,
+            notice,
+            category,
+            site_hint,
+            class,
+        })
+    }
 }
 
 /// Convenience builder used heavily by tests and examples.
@@ -544,5 +641,52 @@ mod tests {
     #[should_panic(expected = "on-demand jobs cannot be capability")]
     fn capability_builder_rejects_on_demand() {
         let _ = JobSpecBuilder::on_demand(1).capability();
+    }
+
+    #[test]
+    fn snap_codec_round_trips_every_field() {
+        let t = SimTime::from_secs;
+        let mut with_hint = JobSpecBuilder::malleable(7)
+            .project(42)
+            .submit_at(t(1_234))
+            .size(100)
+            .min_size(20)
+            .work(secs(3_600))
+            .estimate(secs(7_200))
+            .setup(secs(120))
+            .site_hint(1)
+            .capability()
+            .build();
+        with_hint.site_hint = Some(3);
+        let noticed = JobSpecBuilder::on_demand(8)
+            .submit_at(t(900))
+            .size(64)
+            .notice(t(100), t(900))
+            .build();
+        let plain = JobSpecBuilder::rigid(9).size(1).build();
+        for spec in [with_hint, noticed, plain] {
+            let mut w = SnapWriter::new();
+            spec.encode_snap(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            let back = JobSpec::decode_snap(&mut r).expect("decode");
+            assert!(r.expect_end().is_ok());
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn snap_codec_rejects_truncation_and_bad_tags() {
+        let spec = JobSpecBuilder::rigid(1).size(4).build();
+        let mut w = SnapWriter::new();
+        spec.encode_snap(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert!(JobSpec::decode_snap(&mut r).is_err(), "cut at {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[12] = 9; // kind tag offset: id (8) + project (4)
+        assert!(JobSpec::decode_snap(&mut SnapReader::new(&bad)).is_err());
     }
 }

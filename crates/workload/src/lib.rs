@@ -22,6 +22,7 @@ pub mod ids;
 pub mod job;
 pub mod source;
 pub mod stats;
+pub mod sublog;
 pub mod swf;
 pub mod trace;
 
@@ -29,6 +30,7 @@ pub use gen::{NoticeMix, TraceConfig};
 pub use ids::{JobId, ProjectId};
 pub use job::{JobClass, JobKind, JobSpec, NoticeCategory, NoticeSpec};
 pub use source::{JobSource, MaterializedSource, SwfStreamSource};
+pub use sublog::{earliest_event, LiveSource, LogEntry, SubmissionLog, SubmitOp};
 pub use swf::{
     import_swf, import_swf_reader, to_swf, to_swf_writer, SwfError, SwfExportConfig,
     SwfImportConfig,

@@ -67,19 +67,20 @@ pub mod prelude {
         LeaseLedger, LeastLoaded, NodeId, PlacementPolicy, ShardSpec,
     };
     pub use hws_core::{
-        AdmissionView, ArrivalPlan, ArrivalPolicy, ArrivalStrategy, ArrivalView, CapabilityAware,
-        CkptConfig, CollectUntilArrival, CollectUntilPredicted, Composed, IgnoreNotices, Mechanism,
-        MechanismHooks, NoticeDecision, NoticePolicy, NoticeStrategy, NoticeView, PolicyKind,
-        PredictionView, PreemptAtArrival, ShrinkStrategy, ShrinkThenPreempt, SimConfig, SimOutcome,
-        Simulator, VictimOrder,
+        replay_submission_log, AdmissionView, ArrivalPlan, ArrivalPolicy, ArrivalStrategy,
+        ArrivalView, CancelOutcome, CapabilityAware, CkptConfig, CollectUntilArrival,
+        CollectUntilPredicted, Composed, IgnoreNotices, JobStatus, Mechanism, MechanismHooks,
+        NoticeDecision, NoticePolicy, NoticeStrategy, NoticeView, PolicyKind, PredictionView,
+        PreemptAtArrival, SchedulerService, ShrinkStrategy, ShrinkThenPreempt, SimConfig,
+        SimOutcome, Simulator, SubmitError, VictimOrder,
     };
     pub use hws_metrics::{
         ClassBreakdown, ClassStats, Metrics, MetricsAvg, Recorder, ShardStat, ShardTotals, Table,
     };
     pub use hws_sim::{SimDuration, SimTime};
     pub use hws_workload::{
-        job::JobSpecBuilder, JobClass, JobId, JobKind, JobSpec, NoticeCategory, NoticeMix, Trace,
-        TraceConfig,
+        job::JobSpecBuilder, JobClass, JobId, JobKind, JobSpec, LiveSource, LogEntry,
+        NoticeCategory, NoticeMix, SubmissionLog, SubmitOp, Trace, TraceConfig,
     };
 }
 
@@ -92,5 +93,26 @@ mod tests {
         let trace = TraceConfig::tiny().generate(0);
         let out = Simulator::run_trace(&SimConfig::with_mechanism(Mechanism::N_PAA), &trace);
         assert!(out.metrics.completed_jobs > 0);
+    }
+
+    // The README "Live service mode" snippet, kept honest.
+    #[test]
+    fn prelude_exposes_the_live_service() {
+        let mut svc = SchedulerService::new(SimConfig::with_mechanism(Mechanism::CUP_SPAA), 64);
+        let spec = JobSpecBuilder::rigid(1)
+            .submit_at(SimTime::from_secs(10))
+            .size(32)
+            .build();
+        svc.submit(spec.clone()).unwrap();
+        assert_eq!(svc.query(spec.id), JobStatus::Pending);
+        svc.step_until(SimTime::from_secs(20));
+        assert_eq!(svc.query(spec.id), JobStatus::Running);
+
+        let probe = JobSpecBuilder::rigid(2)
+            .submit_at(svc.now())
+            .size(32)
+            .build();
+        let forecast = svc.what_if(&probe).unwrap();
+        assert_eq!(forecast.len(), 6);
     }
 }
