@@ -29,6 +29,7 @@
 //! [`avail_for`]: ClusterBackend::avail_for
 //! [`backfill_avail_for`]: ClusterBackend::backfill_avail_for
 
+use crate::node::{NodeId, NodeState};
 use crate::{Cluster, ReleaseOutcome};
 use hws_workload::{JobId, JobSpec};
 
@@ -186,6 +187,58 @@ pub trait ClusterBackend: std::fmt::Debug + Send {
     fn release_reservation(&mut self, holder: JobId) -> u32;
 
     // ------------------------------------------------------------------
+    // Availability (outage engine)
+    // ------------------------------------------------------------------
+
+    /// Nodes currently out of service across all shards.
+    fn down_nodes(&self) -> u32 {
+        0
+    }
+
+    /// Nodes in service across all shards.
+    fn live_nodes(&self) -> u32 {
+        self.total_nodes() - self.down_nodes()
+    }
+
+    /// In-service node count of shard `i`.
+    fn shard_live_nodes(&self, i: usize) -> u32 {
+        assert_eq!(i, 0, "single cluster has exactly one shard");
+        self.live_nodes()
+    }
+
+    /// The largest node count any single job could be granted at *current*
+    /// live capacity (the biggest shard's in-service count). Unlike
+    /// [`ClusterBackend::max_job_size`] this moves with outages; the
+    /// driver uses it to decide when a blocked oversized job has become
+    /// permanently infeasible.
+    fn live_max_job_size(&self) -> u32 {
+        self.live_nodes()
+    }
+
+    /// Authoritative state of node `node` of shard `shard` (`None` when
+    /// out of range).
+    fn node_state(&self, shard: usize, node: NodeId) -> Option<NodeState>;
+
+    /// Graceful drain: a free node leaves service immediately, an occupied
+    /// or reserved one is marked and leaves when next freed. Returns
+    /// `true` when the node is down after the call. Idempotent.
+    fn drain_node(&mut self, shard: usize, node: NodeId) -> bool;
+
+    /// Hard outage on an idle reserved node: pull it out of `holder`'s
+    /// reservation and take it down. Returns `false` if the node is not an
+    /// idle reserved node of `holder` on that shard.
+    fn down_reserved_node(&mut self, shard: usize, holder: JobId, node: NodeId) -> bool;
+
+    /// Return a down node to service (or cancel a pending drain mark).
+    /// Returns `true` when anything changed. Idempotent.
+    fn rejoin_node(&mut self, shard: usize, node: NodeId) -> bool;
+
+    /// Remove one specific node from a running job's allocation (malleable
+    /// shrink-away from a lost node); the node is disposed through the
+    /// normal release path, so a draining mark takes effect.
+    fn release_single_node(&mut self, job: JobId, node: NodeId);
+
+    // ------------------------------------------------------------------
     // Arrival orchestration & checks
     // ------------------------------------------------------------------
 
@@ -293,6 +346,34 @@ impl ClusterBackend for Cluster {
 
     fn release_reservation(&mut self, holder: JobId) -> u32 {
         Cluster::release_reservation(self, holder)
+    }
+
+    fn down_nodes(&self) -> u32 {
+        Cluster::down_count(self)
+    }
+
+    fn node_state(&self, shard: usize, node: NodeId) -> Option<NodeState> {
+        assert_eq!(shard, 0, "single cluster has exactly one shard");
+        Cluster::node_state(self, node)
+    }
+
+    fn drain_node(&mut self, shard: usize, node: NodeId) -> bool {
+        assert_eq!(shard, 0, "single cluster has exactly one shard");
+        Cluster::drain_node(self, node)
+    }
+
+    fn down_reserved_node(&mut self, shard: usize, holder: JobId, node: NodeId) -> bool {
+        assert_eq!(shard, 0, "single cluster has exactly one shard");
+        Cluster::down_reserved_node(self, holder, node)
+    }
+
+    fn rejoin_node(&mut self, shard: usize, node: NodeId) -> bool {
+        assert_eq!(shard, 0, "single cluster has exactly one shard");
+        Cluster::rejoin_node(self, node)
+    }
+
+    fn release_single_node(&mut self, job: JobId, node: NodeId) {
+        Cluster::release_single_node(self, job, node)
     }
 
     fn prepare_arrival(&mut self, _od: JobId) -> Option<usize> {

@@ -26,6 +26,7 @@
 //! and the federation proptests pin bitwise.
 
 use crate::backend::ClusterBackend;
+use crate::node::{NodeId, NodeState};
 use crate::{Cluster, ReleaseOutcome};
 use hws_sim::snap::{SnapError, SnapReader, SnapWriter};
 use hws_workload::{JobId, JobKind, JobSpec};
@@ -43,6 +44,8 @@ pub struct ShardSpec {
 #[derive(Debug, Clone, Copy)]
 pub struct ShardView {
     pub index: usize,
+    /// Nodes currently *in service* on this shard (down nodes excluded) —
+    /// the capacity a placement decision can actually count on.
     pub nodes: u32,
     pub free: u32,
     pub reserved_idle: u32,
@@ -287,14 +290,17 @@ impl Federation {
         })
     }
 
+    /// Feasibility is judged against *live* capacity: a shard drained for
+    /// maintenance (or with enough nodes down) stops attracting jobs it
+    /// can no longer host, and recovers its attractiveness on rejoin.
     fn views_for(&self, size: u32) -> Vec<ShardView> {
         self.shards
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.total_nodes() >= size)
+            .filter(|(_, c)| c.live_nodes() >= size)
             .map(|(i, c)| ShardView {
                 index: i,
-                nodes: c.total_nodes(),
+                nodes: c.live_nodes(),
                 free: c.free_count(),
                 reserved_idle: c.total_reserved_idle(),
                 running_jobs: c.running_job_count(),
@@ -312,9 +318,25 @@ impl Federation {
         self.shards
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.total_nodes() >= size)
+            .filter(|(_, c)| c.live_nodes() >= size)
             .max_by(|(ia, a), (ib, b)| a.free_count().cmp(&b.free_count()).then(ib.cmp(ia)))
             .map(|(i, _)| i)
+    }
+
+    /// The sticky home pin, *unless* the whole home shard has left service
+    /// and the job holds no state there — then the pin is released so the
+    /// job can be re-placed on a surviving shard (it would otherwise wait
+    /// on a machine that may never come back).
+    fn sticky_home(&mut self, job: JobId) -> Option<usize> {
+        let &s = self.home.get(&job)?;
+        if self.shards[s].live_nodes() == 0
+            && !self.shards[s].is_running(job)
+            && self.shards[s].reserved_idle_count(job) == 0
+        {
+            self.home.remove(&job);
+            return None;
+        }
+        Some(s)
     }
 
     /// Pick (and pin) a home shard for `job`. A feasible `site_hint` wins;
@@ -322,14 +344,14 @@ impl Federation {
     /// or absent answer falls back to the first feasible shard. Returns
     /// `None` only when no shard can ever host the job.
     fn pin(&mut self, job: JobId) -> Option<usize> {
-        if let Some(&s) = self.home.get(&job) {
+        if let Some(s) = self.sticky_home(job) {
             return Some(s);
         }
         let m = self.meta_of(job);
         let chosen = match m.site_hint {
             Some(h)
                 if (h as usize) < self.shards.len()
-                    && self.shards[h as usize].total_nodes() >= m.size =>
+                    && self.shards[h as usize].live_nodes() >= m.size =>
             {
                 Some(h as usize)
             }
@@ -467,7 +489,7 @@ impl ClusterBackend for Federation {
                 let size = self.meta_of(job).size;
                 self.shards
                     .iter()
-                    .filter(|c| c.total_nodes() >= size)
+                    .filter(|c| c.live_nodes() >= size)
                     .map(|c| c.free_count() + c.squattable_idle(&mut *squat_allowed))
                     .max()
                     .unwrap_or(0)
@@ -506,7 +528,7 @@ impl ClusterBackend for Federation {
                 // there forever.
                 let full = self.meta_of(job).size.max(k);
                 let s = self.shards.iter().position(|c| {
-                    c.total_nodes() >= full
+                    c.live_nodes() >= full
                         && c.free_count() + c.squattable_idle(&mut *squat_allowed) >= k
                 })?;
                 self.home.insert(job, s);
@@ -551,7 +573,7 @@ impl ClusterBackend for Federation {
             // as part of actually acquiring the reservation. Pinning it
             // anywhere else (or on a zero-yield transfer) would strand it.
             None => {
-                if self.shards[sf].total_nodes() < self.meta_of(to).size
+                if self.shards[sf].live_nodes() < self.meta_of(to).size
                     || self.shards[sf].reserved_idle_count(from) == 0
                     || k == 0
                 {
@@ -576,6 +598,45 @@ impl ClusterBackend for Federation {
 
     fn prepare_arrival(&mut self, od: JobId) -> Option<usize> {
         self.pin(od)
+    }
+
+    fn down_nodes(&self) -> u32 {
+        self.shards.iter().map(|c| c.down_count()).sum()
+    }
+
+    fn shard_live_nodes(&self, i: usize) -> u32 {
+        self.shards[i].live_nodes()
+    }
+
+    fn live_max_job_size(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|c| c.live_nodes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn node_state(&self, shard: usize, node: NodeId) -> Option<NodeState> {
+        self.shards.get(shard).and_then(|c| c.node_state(node))
+    }
+
+    fn drain_node(&mut self, shard: usize, node: NodeId) -> bool {
+        self.shards[shard].drain_node(node)
+    }
+
+    fn down_reserved_node(&mut self, shard: usize, holder: JobId, node: NodeId) -> bool {
+        self.shards[shard].down_reserved_node(holder, node)
+    }
+
+    fn rejoin_node(&mut self, shard: usize, node: NodeId) -> bool {
+        self.shards[shard].rejoin_node(node)
+    }
+
+    fn release_single_node(&mut self, job: JobId, node: NodeId) {
+        let s = self
+            .home_of(job)
+            .expect("release_single_node of unplaced job");
+        self.shards[s].release_single_node(job, node);
     }
 
     fn check_invariants(&self) -> Result<(), String> {
@@ -731,7 +792,7 @@ impl Federation {
         k: u32,
         can_host: impl Fn(&Cluster, u32) -> bool,
     ) -> Option<usize> {
-        if let Some(&s) = self.home.get(&job) {
+        if let Some(s) = self.sticky_home(job) {
             return Some(s);
         }
         let m = self.meta_of(job);
@@ -739,7 +800,7 @@ impl Federation {
         if let Some(h) = m.site_hint {
             let h = h as usize;
             if h < self.shards.len()
-                && self.shards[h].total_nodes() >= m.size
+                && self.shards[h].live_nodes() >= m.size
                 && can_host(&self.shards[h], k)
             {
                 self.home.insert(job, h);

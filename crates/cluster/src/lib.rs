@@ -29,12 +29,11 @@ pub use federation::{
     ShardSpec, ShardView,
 };
 pub use lease::{Lease, LeaseLedger};
-pub use node::NodeId;
+pub use node::{NodeId, NodeState};
 pub use snapshot::SnapshotBackend;
 
 use hws_workload::JobId;
-use node::NodeState;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Outcome of releasing a job's nodes: how many went back to the general
 /// free pool and how many returned to on-demand reservations the job was
@@ -96,6 +95,12 @@ pub struct Cluster {
     squatter_index: HashMap<JobId, BTreeMap<JobId, u32>>,
     /// Running total of idle reserved nodes across all holders.
     reserved_idle_total: u32,
+    /// Nodes marked for graceful drain while still occupied; they go
+    /// [`NodeState::Down`] instead of back into service the moment they
+    /// are next freed (see [`Cluster::free_node`]).
+    draining: BTreeSet<u32>,
+    /// Running count of [`NodeState::Down`] nodes.
+    down_count: u32,
 }
 
 impl Cluster {
@@ -109,11 +114,38 @@ impl Cluster {
             splits: HashMap::new(),
             squatter_index: HashMap::new(),
             reserved_idle_total: 0,
+            draining: BTreeSet::new(),
+            down_count: 0,
         }
     }
 
     pub fn total_nodes(&self) -> u32 {
         self.nodes.len() as u32
+    }
+
+    /// Nodes currently out of service ([`NodeState::Down`]).
+    pub fn down_count(&self) -> u32 {
+        self.down_count
+    }
+
+    /// Nodes in service (total minus down). Draining-but-occupied nodes
+    /// still count as live until they actually leave.
+    pub fn live_nodes(&self) -> u32 {
+        self.total_nodes() - self.down_count
+    }
+
+    /// Nodes marked for graceful drain but not yet down.
+    pub fn draining_count(&self) -> u32 {
+        self.draining.len() as u32
+    }
+
+    pub fn is_down(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()) == Some(&NodeState::Down)
+    }
+
+    /// Authoritative state of one node (`None` when out of range).
+    pub fn node_state(&self, id: NodeId) -> Option<NodeState> {
+        self.nodes.get(id.index()).copied()
     }
 
     /// Nodes in the plain free pool (not reserved, not busy).
@@ -403,34 +435,70 @@ impl Cluster {
         Some(squatted)
     }
 
+    /// Dispose of one node whose occupant just left: the single choke
+    /// point through which nodes re-enter the free pool. A node marked
+    /// draining goes [`NodeState::Down`] here instead; returns whether the
+    /// node actually became free.
+    fn free_node(&mut self, id: NodeId) -> bool {
+        if self.draining.remove(&id.0) {
+            self.nodes[id.index()] = NodeState::Down;
+            self.down_count += 1;
+            false
+        } else {
+            self.nodes[id.index()] = NodeState::Free;
+            self.free_list.push(id);
+            true
+        }
+    }
+
+    /// Dispose of one vacated squatted node: back to `holder`'s
+    /// reservation, or straight down if the node is draining.
+    fn unsquat_node(&mut self, id: NodeId, holder: JobId) -> bool {
+        if self.draining.remove(&id.0) {
+            self.nodes[id.index()] = NodeState::Down;
+            self.down_count += 1;
+            false
+        } else {
+            self.nodes[id.index()] = NodeState::Reserved { holder };
+            self.reserved_idle.entry(holder).or_default().push(id);
+            self.reserved_idle_total += 1;
+            true
+        }
+    }
+
     /// Release all of `job`'s nodes. Plain nodes go to the free pool;
-    /// squatted nodes return to their holder's reservation.
+    /// squatted nodes return to their holder's reservation. Nodes marked
+    /// draining leave service instead and appear in neither bucket.
     pub fn release(&mut self, job: JobId) -> ReleaseOutcome {
         let nodes = self.alloc.remove(&job).unwrap_or_default();
         self.splits.remove(&job);
         let mut out = ReleaseOutcome::default();
+        let mut unsquat: Vec<(JobId, u32)> = Vec::new();
         for id in nodes {
             match self.nodes[id.index()] {
                 NodeState::Busy { job: j } => {
                     debug_assert_eq!(j, job);
-                    self.nodes[id.index()] = NodeState::Free;
-                    self.free_list.push(id);
-                    out.to_free += 1;
+                    if self.free_node(id) {
+                        out.to_free += 1;
+                    }
                 }
                 NodeState::ReservedBusy { holder, job: j } => {
                     debug_assert_eq!(j, job);
-                    self.nodes[id.index()] = NodeState::Reserved { holder };
-                    self.reserved_idle.entry(holder).or_default().push(id);
-                    self.reserved_idle_total += 1;
-                    match out.to_reservations.iter_mut().find(|(h, _)| *h == holder) {
+                    match unsquat.iter_mut().find(|(h, _)| *h == holder) {
                         Some((_, k)) => *k += 1,
-                        None => out.to_reservations.push((holder, 1)),
+                        None => unsquat.push((holder, 1)),
+                    }
+                    if self.unsquat_node(id, holder) {
+                        match out.to_reservations.iter_mut().find(|(h, _)| *h == holder) {
+                            Some((_, k)) => *k += 1,
+                            None => out.to_reservations.push((holder, 1)),
+                        }
                     }
                 }
                 ref st => unreachable!("released node in state {st:?}"),
             }
         }
-        for &(holder, k) in &out.to_reservations {
+        for &(holder, k) in &unsquat {
             self.note_unsquat(holder, job, k);
         }
         out
@@ -446,41 +514,54 @@ impl Cluster {
             (nodes.len() as u32) > k,
             "shrink would leave {job} with no nodes"
         );
-        // Partition so plain nodes are surrendered first.
+        // Partition so plain nodes are surrendered first — and among the
+        // plain nodes, draining ones (which leave service on release)
+        // before healthy ones, so shrinks accelerate graceful drains.
+        // With no draining marks the keys collapse to the historical
+        // plain-before-squatted order, so no-outage runs are unchanged.
         let states = &self.nodes;
+        let draining = &self.draining;
         nodes.sort_by_key(|id| match states[id.index()] {
-            NodeState::ReservedBusy { .. } => 1,
-            _ => 0,
+            NodeState::ReservedBusy { .. } => 2,
+            _ if draining.contains(&id.0) => 0,
+            _ => 1,
         });
         let mut out = ReleaseOutcome::default();
+        let mut plain_removed = 0u32;
+        let mut unsquat: Vec<(JobId, u32)> = Vec::new();
         // One O(n) drain, not k front-shifts; yields the same nodes in the
         // same order, so the free-list/reservation push order (and with it
         // bitwise determinism) is unchanged.
-        for id in nodes.drain(..k as usize) {
+        let removed: Vec<NodeId> = nodes.drain(..k as usize).collect();
+        for id in removed {
             match self.nodes[id.index()] {
                 NodeState::Busy { .. } => {
-                    self.nodes[id.index()] = NodeState::Free;
-                    self.free_list.push(id);
-                    out.to_free += 1;
+                    plain_removed += 1;
+                    if self.free_node(id) {
+                        out.to_free += 1;
+                    }
                 }
                 NodeState::ReservedBusy { holder, .. } => {
-                    self.nodes[id.index()] = NodeState::Reserved { holder };
-                    self.reserved_idle.entry(holder).or_default().push(id);
-                    self.reserved_idle_total += 1;
-                    match out.to_reservations.iter_mut().find(|(h, _)| *h == holder) {
+                    match unsquat.iter_mut().find(|(h, _)| *h == holder) {
                         Some((_, c)) => *c += 1,
-                        None => out.to_reservations.push((holder, 1)),
+                        None => unsquat.push((holder, 1)),
+                    }
+                    if self.unsquat_node(id, holder) {
+                        match out.to_reservations.iter_mut().find(|(h, _)| *h == holder) {
+                            Some((_, c)) => *c += 1,
+                            None => out.to_reservations.push((holder, 1)),
+                        }
                     }
                 }
                 ref st => unreachable!("shrunk node in state {st:?}"),
             }
         }
         let split = self.splits.get_mut(&job).expect("running job has a split");
-        split.plain -= out.to_free;
-        for &(_, c) in &out.to_reservations {
+        split.plain -= plain_removed;
+        for &(_, c) in &unsquat {
             split.squatted -= c;
         }
-        for &(holder, c) in &out.to_reservations {
+        for &(holder, c) in &unsquat {
             self.note_unsquat(holder, job, c);
         }
         out
@@ -547,14 +628,13 @@ impl Cluster {
     }
 
     /// Drop `holder`'s reservation: idle reserved nodes go back to the free
-    /// pool, squatters keep running on plain `Busy` nodes. Returns how many
-    /// idle nodes were freed.
+    /// pool (draining ones leave service), squatters keep running on plain
+    /// `Busy` nodes. Returns how many idle nodes left the reservation.
     pub fn release_reservation(&mut self, holder: JobId) -> u32 {
         let mut freed = 0;
         if let Some(idle) = self.reserved_idle.remove(&holder) {
             for id in idle {
-                self.nodes[id.index()] = NodeState::Free;
-                self.free_list.push(id);
+                self.free_node(id);
                 freed += 1;
             }
             self.reserved_idle_total -= freed;
@@ -580,6 +660,110 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Availability (outage engine)
+    // ------------------------------------------------------------------
+
+    /// Take a node out of service. A `Free` node goes down immediately; an
+    /// occupied or reserved node is marked draining and goes down the
+    /// moment it is next freed (hard-down callers evict the occupant
+    /// first, so their release converts the node on the spot). Returns
+    /// `true` when the node is `Down` after the call. Idempotent.
+    pub fn drain_node(&mut self, id: NodeId) -> bool {
+        match self.nodes[id.index()] {
+            NodeState::Down => true,
+            NodeState::Free => {
+                let pos = self
+                    .free_list
+                    .iter()
+                    .position(|n| *n == id)
+                    .expect("free node is on the free list");
+                // In-place removal keeps the relative order of the other
+                // free nodes, so the pop order downstream is unchanged.
+                self.free_list.remove(pos);
+                self.nodes[id.index()] = NodeState::Down;
+                self.down_count += 1;
+                self.draining.remove(&id.0);
+                true
+            }
+            _ => {
+                self.draining.insert(id.0);
+                false
+            }
+        }
+    }
+
+    /// Hard outage on an idle reserved node: pull it out of `holder`'s
+    /// reservation and take it down. Returns `false` when the node is not
+    /// an idle reserved node of `holder`.
+    pub fn down_reserved_node(&mut self, holder: JobId, id: NodeId) -> bool {
+        let Some(idle) = self.reserved_idle.get_mut(&holder) else {
+            return false;
+        };
+        let Some(pos) = idle.iter().position(|n| *n == id) else {
+            return false;
+        };
+        idle.remove(pos);
+        if idle.is_empty() {
+            self.reserved_idle.remove(&holder);
+        }
+        self.reserved_idle_total -= 1;
+        self.nodes[id.index()] = NodeState::Down;
+        self.down_count += 1;
+        self.draining.remove(&id.0);
+        true
+    }
+
+    /// Return a down node to service (it re-enters the free pool), or
+    /// cancel a pending draining mark on a still-occupied node. Returns
+    /// `true` when anything changed. Idempotent.
+    pub fn rejoin_node(&mut self, id: NodeId) -> bool {
+        if self.nodes[id.index()] == NodeState::Down {
+            self.nodes[id.index()] = NodeState::Free;
+            self.free_list.push(id);
+            self.down_count -= 1;
+            true
+        } else {
+            self.draining.remove(&id.0)
+        }
+    }
+
+    /// Remove one specific node from a running job's allocation (a
+    /// malleable job shrinking away from a lost node). The node is
+    /// disposed through the normal release path, so a draining mark takes
+    /// effect. Panics if the job does not hold the node or would drop to
+    /// zero nodes.
+    pub fn release_single_node(&mut self, job: JobId, id: NodeId) {
+        let nodes = self
+            .alloc
+            .get_mut(&job)
+            .expect("single-node release from non-running job");
+        assert!(nodes.len() > 1, "single-node release would empty {job}");
+        let pos = nodes
+            .iter()
+            .position(|n| *n == id)
+            .expect("job holds the released node");
+        nodes.remove(pos);
+        match self.nodes[id.index()] {
+            NodeState::Busy { .. } => {
+                self.splits
+                    .get_mut(&job)
+                    .expect("running job has a split")
+                    .plain -= 1;
+                self.free_node(id);
+            }
+            NodeState::ReservedBusy { holder, .. } => {
+                self.splits
+                    .get_mut(&job)
+                    .expect("running job has a split")
+                    .squatted -= 1;
+                self.note_unsquat(holder, job, 1);
+                self.unsquat_node(id, holder);
+            }
+            ref st => unreachable!("allocated node in state {st:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Invariants
     // ------------------------------------------------------------------
 
@@ -591,9 +775,11 @@ impl Cluster {
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut busy = 0u32;
         let mut reserved = 0u32;
+        let mut down = 0u32;
         for (i, st) in self.nodes.iter().enumerate() {
             match st {
                 NodeState::Free => {}
+                NodeState::Down => down += 1,
                 NodeState::Busy { job } | NodeState::ReservedBusy { job, .. } => {
                     busy += 1;
                     let nodes = self
@@ -617,11 +803,28 @@ impl Cluster {
             }
         }
         let free = self.free_list.len() as u32;
-        if free + busy + reserved != self.total_nodes() {
+        if free + busy + reserved + down != self.total_nodes() {
             return Err(format!(
-                "conservation violated: {free} free + {busy} busy + {reserved} reserved != {}",
+                "conservation violated: {free} free + {busy} busy + {reserved} reserved \
+                 + {down} down != {}",
                 self.total_nodes()
             ));
+        }
+        if self.down_count != down {
+            return Err(format!(
+                "down_count counter {} != scanned {down}",
+                self.down_count
+            ));
+        }
+        for &id in &self.draining {
+            match self.nodes.get(id as usize) {
+                None => return Err(format!("draining id {id} out of range")),
+                Some(NodeState::Free) => {
+                    return Err(format!("draining node {id} is Free (should be Down)"))
+                }
+                Some(NodeState::Down) => return Err(format!("draining node {id} is already Down")),
+                Some(_) => {}
+            }
         }
         let alloc_total: usize = self.alloc.values().map(|v| v.len()).sum();
         if alloc_total as u32 != busy {

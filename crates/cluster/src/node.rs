@@ -33,6 +33,10 @@ pub enum NodeState {
     /// Earmarked for `holder` but currently running backfilled `job`
     /// (a *squatter*, preempted the moment `holder` arrives).
     ReservedBusy { holder: JobId, job: JobId },
+    /// Out of service (failed or under maintenance). A down node belongs
+    /// to no free list, allocation, or reservation; it re-enters service
+    /// only through an explicit rejoin.
+    Down,
 }
 
 #[cfg(test)]

@@ -88,6 +88,7 @@ fn encode_node(st: &NodeState, w: &mut SnapWriter) {
             w.put_u64(holder.0);
             w.put_u64(job.0);
         }
+        NodeState::Down => w.put_u8(4),
     }
 }
 
@@ -104,6 +105,7 @@ fn decode_node(r: &mut SnapReader<'_>) -> Result<NodeState, SnapError> {
             holder: JobId(r.get_u64()?),
             job: JobId(r.get_u64()?),
         },
+        4 => NodeState::Down,
         t => return Err(r.err(format!("bad node state tag {t}"))),
     })
 }
@@ -185,6 +187,12 @@ impl Cluster {
                 w.put_u32(id.0);
             }
         }
+        // Draining marks (already a sorted set; Down nodes are carried by
+        // the per-node states themselves and belong to no list).
+        w.put_len(self.draining.len());
+        for &id in &self.draining {
+            w.put_u32(id);
+        }
     }
 
     /// Decode a cluster written by [`Cluster::encode_snap`]. Every node
@@ -207,6 +215,15 @@ impl Cluster {
             nodes.push(decode_node(r)?);
         }
         let mut seen = vec![false; n];
+        // Down nodes live in no list: claim them straight from the state
+        // array so the exactly-once check still covers the whole machine.
+        let mut down_count = 0u32;
+        for (i, st) in nodes.iter().enumerate() {
+            if *st == NodeState::Down {
+                seen[i] = true;
+                down_count += 1;
+            }
+        }
         let n_free = r.get_len()?;
         let mut free_list = Vec::with_capacity(n_free);
         for _ in 0..n_free {
@@ -235,6 +252,20 @@ impl Cluster {
         )?;
         if let Some(orphan) = seen.iter().position(|s| !s) {
             return Err(r.err(format!("node {orphan} claimed by no list")));
+        }
+        let n_draining = r.get_len()?;
+        let mut draining = Vec::with_capacity(n_draining);
+        let mut prev_drain: Option<u32> = None;
+        for _ in 0..n_draining {
+            let id = r.get_u32()?;
+            if prev_drain.is_some_and(|p| p >= id) {
+                return Err(r.err(format!("draining list not strictly sorted at {id}")));
+            }
+            prev_drain = Some(id);
+            if id as usize >= n {
+                return Err(r.err(format!("draining node {id} out of range")));
+            }
+            draining.push(id);
         }
         // Rebuild the derived accounting from the authoritative state.
         let mut splits = HashMap::with_capacity(alloc.len());
@@ -265,6 +296,8 @@ impl Cluster {
             splits,
             squatter_index,
             reserved_idle_total,
+            draining: draining.into_iter().collect(),
+            down_count,
         };
         cluster
             .check_invariants()

@@ -6,6 +6,7 @@ use crate::failure::FailureConfig;
 use crate::policy::PolicyKind;
 use hws_cluster::FederationConfig;
 use hws_sim::SimDuration;
+use hws_workload::OutageSchedule;
 use std::fmt;
 
 /// What the scheduler does when an on-demand advance notice arrives
@@ -196,6 +197,12 @@ pub struct SimConfig {
     /// placement policy (set via [`SimConfig::federated`]). A one-shard
     /// federation reproduces the single-cluster run bitwise.
     pub federation: Option<FederationConfig>,
+    /// Deterministic capacity-fault injection: node/shard drains, hard
+    /// downs, and rejoins delivered through the event queue (extension;
+    /// `None` — the default and the paper's model — runs outage-free and
+    /// is bitwise-identical to builds without the outage engine). Set via
+    /// [`SimConfig::with_outages`].
+    pub outages: Option<OutageSchedule>,
 }
 
 impl Default for SimConfig {
@@ -217,6 +224,7 @@ impl Default for SimConfig {
             record_timeline: false,
             hooks: None,
             federation: None,
+            outages: None,
         }
     }
 }
@@ -292,6 +300,15 @@ impl SimConfig {
     /// (checked at run start).
     pub fn federated(mut self, federation: FederationConfig) -> Self {
         self.federation = Some(federation);
+        self
+    }
+
+    /// Inject the given outage schedule: drains, hard downs, and rejoins
+    /// are delivered through the event queue at their scheduled times, so
+    /// replays stay bitwise-reproducible. The schedule's shard/node
+    /// coordinates must fit the backend (checked at run start).
+    pub fn with_outages(mut self, schedule: OutageSchedule) -> Self {
+        self.outages = Some(schedule);
         self
     }
 }

@@ -9,6 +9,7 @@
 use super::alloc::Claim;
 use super::events::Ev;
 use super::hooks::{hooks_for, MechanismHooks};
+use super::outage::OutageState;
 use crate::config::SimConfig;
 use crate::failure::time_to_failure;
 use crate::jobstate::{
@@ -74,6 +75,9 @@ pub struct SimCore<B: ClusterBackend = Cluster> {
     pub(super) shard_occ: Vec<u128>,
     pub(super) shard_starts: Vec<u64>,
     pub(super) track_shards: bool,
+    /// Outage-injection bookkeeping; `Some` exactly when the config
+    /// carries an [`hws_workload::OutageSchedule`] (see [`super::outage`]).
+    pub(super) outage: Option<OutageState>,
     pub rec: Recorder,
     pub timeline: Timeline,
 }
@@ -106,6 +110,7 @@ impl<B: ClusterBackend> SimCore<B> {
     pub fn with_backend(cfg: SimConfig, backend: B) -> Self {
         let track_shards = backend.shard_labels().is_some();
         let n_shards = backend.shard_count();
+        let outage = cfg.outages.as_ref().map(|_| OutageState::default());
         SimCore {
             rec: Recorder::new(backend.total_nodes()),
             cluster: backend,
@@ -126,6 +131,7 @@ impl<B: ClusterBackend> SimCore<B> {
             shard_occ: vec![0; if track_shards { n_shards } else { 0 }],
             shard_starts: vec![0; if track_shards { n_shards } else { 0 }],
             track_shards,
+            outage,
             timeline: Timeline::new(),
         }
     }
@@ -220,6 +226,11 @@ impl<B: ClusterBackend> SimCore<B> {
     /// the id — stale failure draws, CUP preemption plans — are dropped by
     /// the liveness guards in [`super::events`].
     pub(super) fn retire(&mut self, j: JobId) {
+        if let Some(o) = self.outage.as_mut() {
+            // A job retired mid-recovery (cancelled, or swept as
+            // infeasible) closes its latency window without a recovery.
+            o.evicted_at.remove(&j);
+        }
         self.rec.retire(j);
         self.table.retire(j);
     }
@@ -396,6 +407,7 @@ impl<B: ClusterBackend> SimCore<B> {
             work_at_start: remaining_work,
         });
         self.rec.job_started(j, now);
+        self.note_outage_recovery(j, now);
         self.log(now, j, TimelineEvent::Started { size });
 
         // Schedule completion (or a kill when the estimate is exceeded —

@@ -50,6 +50,11 @@ pub enum Ev {
         job: JobId,
         epoch: u64,
     },
+    /// Apply entry `idx` of the configured outage schedule (capacity-fault
+    /// extension); the handler chains `idx + 1`.
+    Outage {
+        idx: u32,
+    },
     Pass,
 }
 
@@ -57,6 +62,10 @@ impl<B: ClusterBackend> Simulation for SimCore<B> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+        // Lost-capacity integral: the down count is constant between
+        // events, so accruing at every dispatch entry is exact. A single
+        // `Option` check on outage-free runs.
+        self.accrue_outage(now);
         match ev {
             Ev::Submit(j) => {
                 // Arrival-lane events are not cancellable, so a live-service
@@ -76,7 +85,18 @@ impl<B: ClusterBackend> Simulation for SimCore<B> {
                     spec.category,
                 );
                 self.log(now, j, TimelineEvent::Submitted);
-                if spec.size > self.cluster.max_job_size() {
+                // While outage events are still pending, oversized jobs
+                // block (a rejoin may restore the capacity); once the
+                // schedule's horizon has passed, lost capacity is lost for
+                // good and the live cap applies.
+                let cap = if self.outage_horizon_passed() {
+                    self.cluster
+                        .max_job_size()
+                        .min(self.cluster.live_max_job_size())
+                } else {
+                    self.cluster.max_job_size()
+                };
+                if spec.size > cap {
                     // No shard can ever host it; queueing it would wait
                     // forever. Impossible on a single cluster (the trace
                     // validates size ≤ system size), real on federations
@@ -188,6 +208,9 @@ impl<B: ClusterBackend> Simulation for SimCore<B> {
                     self.request_pass(now, q);
                 }
             }
+            Ev::Outage { idx } => {
+                self.apply_outage(idx, now, q);
+            }
             Ev::Pass => {
                 self.pass_pending = false;
                 self.schedule_pass(now, q);
@@ -196,6 +219,19 @@ impl<B: ClusterBackend> Simulation for SimCore<B> {
         if self.cfg.paranoid_checks {
             self.cluster.check_invariants().expect("cluster invariants");
             self.check_cap_running_invariant();
+            // Down capacity must never be visible to scheduling queries.
+            let live = self.cluster.live_nodes();
+            assert!(
+                self.cluster.free_count() <= live,
+                "free pool exceeds live capacity"
+            );
+            for c in &self.claims {
+                assert!(
+                    self.cluster.avail_for(c.od) <= live,
+                    "avail_for({}) sees down capacity",
+                    c.od
+                );
+            }
         }
     }
 }

@@ -23,6 +23,7 @@ mod alloc;
 mod core;
 mod events;
 pub mod hooks;
+mod outage;
 mod pass;
 mod preempt;
 mod service;
@@ -45,7 +46,7 @@ pub use service::{replay_submission_log, CancelOutcome, JobStatus, SchedulerServ
 use crate::config::{Mechanism, SimConfig};
 use crate::timeline::Timeline;
 use hws_cluster::{Cluster, ClusterBackend, Federation};
-use hws_metrics::{ClassBreakdown, Metrics, Recorder, ShardStat};
+use hws_metrics::{ClassBreakdown, Metrics, OutageReport, Recorder, ShardStat};
 use hws_sim::{Engine, EngineStats};
 use hws_workload::{JobSource, MaterializedSource, Trace, TraceConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -68,6 +69,11 @@ pub struct SimOutcome {
     /// `shards`: zero-capability runs must compare bitwise against the
     /// two-class path.
     pub classes: Option<ClassBreakdown>,
+    /// Outage accounting, present only when schedule events actually
+    /// applied — outside [`Metrics`] (like `shards`/`classes`) so runs
+    /// with no or empty schedules compare bitwise against outage-free
+    /// builds.
+    pub outages: Option<OutageReport>,
     /// High-water mark of co-resident jobs in the driver's arena — the
     /// O(active) memory claim, measured. For materialized replays this is
     /// still the *live window*, not the trace length: arrivals are
@@ -148,6 +154,7 @@ impl Simulator {
         let mechanism = core.cfg.mechanism;
         let lead = source.max_notice_lead();
         let mut engine = Engine::new(core);
+        outage::seed_outages(&mut engine);
         let mut next = source.next_job();
         loop {
             // Pump: admit + schedule arrivals due before (or at) the next
@@ -187,6 +194,7 @@ impl Simulator {
                 .rec
                 .saw_capability()
                 .then(|| ClassBreakdown::compute(&core.rec)),
+            outages: core.outage_report(),
             peak_resident_jobs: core.jobs().peak_live(),
             admitted_jobs: core.jobs().admitted(),
             timeline: core.cfg.record_timeline.then_some(core.timeline),

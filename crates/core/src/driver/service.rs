@@ -37,7 +37,7 @@ use super::SimOutcome;
 use crate::config::{Mechanism, SimConfig};
 use crate::jobstate::Status;
 use crate::timeline::TimelineEvent;
-use hws_cluster::{Cluster, Federation, SnapshotBackend};
+use hws_cluster::{Cluster, Federation, NodeId, SnapshotBackend};
 use hws_metrics::{ClassBreakdown, Metrics};
 use hws_sim::snap::{SnapError, SnapReader, SnapWriter};
 use hws_sim::{Engine, SimTime};
@@ -212,8 +212,10 @@ where
 {
     fn from_core(core: SimCore<B>, ctx: B::Ctx) -> Self {
         let schedule_notices = !core.cfg.mechanism.is_baseline() && core.hooks.uses_notices();
+        let mut engine = Engine::new(core);
+        super::outage::seed_outages(&mut engine);
         SchedulerService {
-            engine: Engine::new(core),
+            engine,
             buffer: BTreeMap::new(),
             cancelled: BTreeSet::new(),
             seen: BTreeSet::new(),
@@ -422,6 +424,7 @@ where
                 .rec
                 .saw_capability()
                 .then(|| ClassBreakdown::compute(&core.rec)),
+            outages: core.outage_report(),
             peak_resident_jobs: core.jobs().peak_live(),
             admitted_jobs: core.jobs().admitted(),
             timeline: core.cfg.record_timeline.then_some(core.timeline),
@@ -619,6 +622,101 @@ where
             }
             SubmitOp::Cancel(id) => Ok(Some(self.cancel(*id))),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Capacity administration (outage extension)
+    // ------------------------------------------------------------------
+
+    /// Gracefully drain one node: it leaves service the moment it is idle
+    /// (immediately when free, at release otherwise). No job is evicted.
+    /// Returns `true` when the node is down after the call; `false` for a
+    /// still-occupied (now marked) node or an out-of-range address.
+    ///
+    /// Admin ops act at the current virtual time and are part of the
+    /// session's deterministic history: the same call sequence at the
+    /// same times replays bitwise. They work with or without an outage
+    /// schedule (capacity changed here is accounted in the outage report
+    /// only when a schedule is active).
+    pub fn drain_node(&mut self, shard: usize, node: u32) -> bool {
+        let now = self.engine.now();
+        let Engine { queue, sim, .. } = &mut self.engine;
+        if shard >= sim.cluster.shard_count() || node >= sim.cluster.shard_nodes(shard) {
+            return false;
+        }
+        sim.accrue_outage(now);
+        let down = sim.cluster.drain_node(shard, NodeId(node));
+        sim.request_pass(now, queue);
+        down
+    }
+
+    /// Gracefully drain every node of a shard (rolling maintenance:
+    /// the shard leaves the federation as its jobs finish). Returns the
+    /// number of nodes already down after the call.
+    pub fn drain_shard(&mut self, shard: usize) -> u32 {
+        let now = self.engine.now();
+        let Engine { queue, sim, .. } = &mut self.engine;
+        if shard >= sim.cluster.shard_count() {
+            return 0;
+        }
+        sim.accrue_outage(now);
+        let mut down = 0;
+        for n in 0..sim.cluster.shard_nodes(shard) {
+            if sim.cluster.drain_node(shard, NodeId(n)) {
+                down += 1;
+            }
+        }
+        sim.request_pass(now, queue);
+        down
+    }
+
+    /// Return a down node to service (or cancel its pending drain mark).
+    /// Returns `true` when anything changed.
+    pub fn rejoin_node(&mut self, shard: usize, node: u32) -> bool {
+        let now = self.engine.now();
+        let Engine { queue, sim, .. } = &mut self.engine;
+        if shard >= sim.cluster.shard_count() || node >= sim.cluster.shard_nodes(shard) {
+            return false;
+        }
+        sim.accrue_outage(now);
+        let changed = sim.cluster.rejoin_node(shard, NodeId(node));
+        if changed {
+            sim.offer_free_nodes(now);
+            sim.request_pass(now, queue);
+        }
+        changed
+    }
+
+    /// Rejoin every node of a shard. Returns the number of nodes whose
+    /// state changed (down → free, or drain mark cleared).
+    pub fn rejoin_shard(&mut self, shard: usize) -> u32 {
+        let now = self.engine.now();
+        let Engine { queue, sim, .. } = &mut self.engine;
+        if shard >= sim.cluster.shard_count() {
+            return 0;
+        }
+        sim.accrue_outage(now);
+        let mut changed = 0;
+        for n in 0..sim.cluster.shard_nodes(shard) {
+            if sim.cluster.rejoin_node(shard, NodeId(n)) {
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            sim.offer_free_nodes(now);
+            sim.request_pass(now, queue);
+        }
+        changed
+    }
+
+    /// Nodes currently out of service across all shards.
+    pub fn down_nodes(&self) -> u32 {
+        self.engine.sim.cluster.down_nodes()
+    }
+
+    /// Nodes currently in service across all shards.
+    pub fn live_nodes(&self) -> u32 {
+        self.engine.sim.cluster.live_nodes()
     }
 }
 

@@ -34,8 +34,10 @@ use hws_sim::{Engine, EventId, EventQueue, QueueSnapshot, SimTime};
 use hws_workload::JobId;
 use std::collections::{BTreeSet, HashMap};
 
-/// Format version; bump on any layout change.
-const SNAP_VERSION: u8 = 1;
+/// Format version; bump on any layout change. Version 2 added the outage
+/// engine: the `Ev::Outage` tag and the outage-state section between the
+/// shard accumulators and the recorder.
+const SNAP_VERSION: u8 = 2;
 
 // ---------------------------------------------------------------------
 // Event codec.
@@ -82,6 +84,10 @@ fn encode_ev(ev: &Ev, w: &mut SnapWriter) {
             w.put_u64(epoch);
         }
         Ev::Pass => w.put_u8(8),
+        Ev::Outage { idx } => {
+            w.put_u8(9);
+            w.put_u32(idx);
+        }
     }
 }
 
@@ -112,6 +118,7 @@ fn decode_ev(r: &mut SnapReader<'_>) -> Result<Ev, SnapError> {
             epoch: r.get_u64()?,
         },
         8 => Ev::Pass,
+        9 => Ev::Outage { idx: r.get_u32()? },
         b => return Err(r.err(format!("bad event tag {b}"))),
     })
 }
@@ -258,6 +265,32 @@ pub(super) fn snapshot_engine<B: SnapshotBackend>(engine: &Engine<SimCore<B>>) -
     w.put_len(core.shard_starts.len());
     for &s in &core.shard_starts {
         w.put_u64(s);
+    }
+
+    match &core.outage {
+        None => w.put_bool(false),
+        Some(o) => {
+            w.put_bool(true);
+            w.put_u32(o.applied);
+            w.put_u64(o.downs);
+            w.put_u64(o.drains);
+            w.put_u64(o.rejoins);
+            w.put_u64(o.interrupted_jobs);
+            w.put_u64(o.shrunk_jobs);
+            w.put_u64(o.infeasible_killed);
+            w.put_u64(o.lost_node_seconds as u64);
+            w.put_u64((o.lost_node_seconds >> 64) as u64);
+            w.put_u64(o.degraded_wall_seconds);
+            w.put_u64(o.last_accrual.as_secs());
+            // BTreeMap: already id-sorted.
+            w.put_len(o.evicted_at.len());
+            for (j, t) in &o.evicted_at {
+                w.put_u64(j.0);
+                w.put_u64(t.as_secs());
+            }
+            w.put_u64(o.recoveries);
+            w.put_u64(o.recovery_latency_total);
+        }
     }
 
     core.rec.encode_snap(&mut w);
@@ -409,6 +442,57 @@ pub(super) fn restore_engine<B: SnapshotBackend>(
         )));
     }
 
+    let outage = if r.get_bool()? {
+        if cfg.outages.is_none() {
+            return Err(r.err(
+                "snapshot carries outage state but the restore config has no schedule".to_string(),
+            ));
+        }
+        let applied = r.get_u32()?;
+        let downs = r.get_u64()?;
+        let drains = r.get_u64()?;
+        let rejoins = r.get_u64()?;
+        let interrupted_jobs = r.get_u64()?;
+        let shrunk_jobs = r.get_u64()?;
+        let infeasible_killed = r.get_u64()?;
+        let lost_lo = r.get_u64()?;
+        let lost_hi = r.get_u64()?;
+        let degraded_wall_seconds = r.get_u64()?;
+        let last_accrual = SimTime::from_secs(r.get_u64()?);
+        let n_evicted = r.get_len()?;
+        let mut evicted_at = std::collections::BTreeMap::new();
+        for _ in 0..n_evicted {
+            let j = JobId(r.get_u64()?);
+            let t = SimTime::from_secs(r.get_u64()?);
+            if evicted_at.insert(j, t).is_some() {
+                return Err(r.err(format!("duplicate evicted entry for {j}")));
+            }
+        }
+        Some(super::outage::OutageState {
+            applied,
+            downs,
+            drains,
+            rejoins,
+            interrupted_jobs,
+            shrunk_jobs,
+            infeasible_killed,
+            lost_node_seconds: (u128::from(lost_hi) << 64) | u128::from(lost_lo),
+            degraded_wall_seconds,
+            last_accrual,
+            evicted_at,
+            recoveries: r.get_u64()?,
+            recovery_latency_total: r.get_u64()?,
+        })
+    } else {
+        if cfg.outages.is_some() {
+            return Err(r.err(
+                "restore config carries an outage schedule but the snapshot has no outage state"
+                    .to_string(),
+            ));
+        }
+        None
+    };
+
     let rec = Recorder::decode_snap(&mut r)?;
     let n_tl = r.get_len()?;
     let mut timeline = Timeline::new();
@@ -439,6 +523,7 @@ pub(super) fn restore_engine<B: SnapshotBackend>(
         shard_occ,
         shard_starts,
         track_shards,
+        outage,
         rec,
         timeline,
     };

@@ -18,12 +18,14 @@
 //! averages reports across seeds the way the paper averages ten traces.
 
 pub mod classes;
+pub mod outage;
 pub mod record;
 pub mod shard;
 pub mod summary;
 pub mod table;
 
 pub use classes::{ClassAcc, ClassBreakdown, ClassStats};
+pub use outage::OutageReport;
 pub use record::{JobRecord, Recorder};
 pub use shard::{ShardStat, ShardTotals};
 pub use summary::{KindStats, Metrics, MetricsAcc, MetricsAvg};

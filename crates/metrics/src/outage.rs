@@ -1,0 +1,104 @@
+//! Outage-aware measurement for capacity-fault runs.
+//!
+//! Like the per-shard breakdown ([`ShardStat`](crate::ShardStat)), this is
+//! a **side channel**: a run with no outage schedule produces no
+//! [`OutageReport`], so no-outage metrics stay bitwise-comparable against
+//! builds that predate the outage engine. The driver accumulates the raw
+//! counters while injecting the schedule and attaches the report to the
+//! run outcome.
+
+/// What capacity faults cost over one run. All fields are exact integers
+/// accumulated by the driver; the derived rates are methods so the report
+/// itself stays bitwise-comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutageReport {
+    /// Schedule events applied (equals the schedule length after a full
+    /// run).
+    pub events_applied: u32,
+    /// Node-down transitions performed (hard downs plus graceful drains
+    /// that completed by emptying the node).
+    pub nodes_down: u64,
+    /// Graceful drain applications (a drained-but-occupied node leaves
+    /// service later, through the release path, and is then counted in
+    /// `lost_node_seconds` but not in `nodes_down`).
+    pub nodes_drained: u64,
+    /// Nodes returned to service by rejoin events.
+    pub nodes_rejoined: u64,
+    /// Running jobs evicted by hard downs (checkpoint-restart or
+    /// setup-loss recovery; does not count shrink-aways).
+    pub interrupted_jobs: u64,
+    /// Malleable jobs that shrank away from a lost node instead of being
+    /// evicted.
+    pub shrunk_jobs: u64,
+    /// Waiting jobs killed because the post-outage capacity horizon proved
+    /// them permanently infeasible.
+    pub infeasible_killed: u64,
+    /// Node-seconds of capacity out of service (the integral of the down
+    /// count over the run).
+    pub lost_node_seconds: u128,
+    /// Wall seconds during which at least one node was down (the union of
+    /// all degraded windows).
+    pub degraded_wall_seconds: u64,
+    /// Evicted jobs that restarted, and their total eviction→restart
+    /// latency.
+    pub recoveries: u64,
+    pub recovery_latency_seconds: u64,
+}
+
+impl OutageReport {
+    /// Mean eviction→restart latency in seconds; 0 with no recoveries.
+    pub fn mean_recovery_latency_secs(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_latency_seconds as f64 / self.recoveries as f64
+        }
+    }
+
+    /// Utilization of the capacity that was actually *in service*:
+    /// `occupied / (nodes × span − lost)`. Unlike the headline
+    /// [`Metrics`](crate::Metrics) utilization (which divides by full
+    /// capacity), this answers "how well did the scheduler use what it
+    /// had" during degraded windows. 0 for an empty live capacity.
+    pub fn live_utilization(&self, occupied_node_seconds: u128, nodes: u32, span_secs: u64) -> f64 {
+        let cap = u128::from(nodes) * u128::from(span_secs);
+        let live = cap.saturating_sub(self.lost_node_seconds);
+        if live == 0 {
+            0.0
+        } else {
+            occupied_node_seconds as f64 / live as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_recovery_latency() {
+        let r = OutageReport {
+            recoveries: 4,
+            recovery_latency_seconds: 100,
+            ..Default::default()
+        };
+        assert!((r.mean_recovery_latency_secs() - 25.0).abs() < 1e-12);
+        assert_eq!(OutageReport::default().mean_recovery_latency_secs(), 0.0);
+    }
+
+    #[test]
+    fn live_utilization_discounts_lost_capacity() {
+        let r = OutageReport {
+            lost_node_seconds: 500,
+            ..Default::default()
+        };
+        // 10 nodes × 100 s = 1000 cap, 500 lost → 250 occupied is 50 %.
+        assert!((r.live_utilization(250, 10, 100) - 0.5).abs() < 1e-12);
+        // All capacity lost → 0, not a division by zero.
+        let all = OutageReport {
+            lost_node_seconds: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(all.live_utilization(250, 10, 100), 0.0);
+    }
+}

@@ -1,0 +1,468 @@
+//! Deterministic outage schedules: capacity-level fault injection.
+//!
+//! An [`OutageSchedule`] is an ordered sequence of timestamped capacity
+//! events — hard node losses ([`OutageKind::Down`]), graceful drains
+//! ([`OutageKind::Drain`]), and service re-entries ([`OutageKind::Rejoin`])
+//! — addressed to a `(shard, node)` pair or to a whole shard. The driver
+//! (hws-core) injects the schedule through its event queue, so an outage
+//! run is bitwise reproducible the same way a failure-injection run is:
+//! the schedule is data, not a random process sampled at run time.
+//!
+//! The text interchange format follows the SWF-codec house style: `;`
+//! header comments (`HWS-OutageSchedule`) followed by one event per line —
+//! `D,<at>,<shard>,<node|*>` (hard down), `G,…` (graceful drain), `R,…`
+//! (rejoin) — so schedules are diffable, greppable, and offline-friendly
+//! like every other artifact in this repo.
+//!
+//! Two synthesizers cover the common cases: [`OutageSchedule::from_mtbf`]
+//! walks a per-node alternating up/down renewal process from a counter-
+//! based RNG (SplitMix64 over `(seed, node, step)` — order-independent,
+//! snapshot-stable), and [`OutageSchedule::maintenance_windows`] expands
+//! explicit `[start, end)` windows into drain/rejoin pairs.
+
+use hws_sim::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// What happens to the addressed capacity at the event instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OutageKind {
+    /// Hard loss: resident jobs are evicted (checkpoint-restart for
+    /// rigid/on-demand, shrink-away for malleable), reservations on the
+    /// node are released. The node leaves service immediately.
+    Down,
+    /// Graceful drain: no eviction; a free node leaves service now, an
+    /// occupied one leaves when its resident releases it.
+    Drain,
+    /// Re-entry: a down node returns to the free pool. A no-op for nodes
+    /// already in service (it also clears a pending drain mark).
+    Rejoin,
+}
+
+impl OutageKind {
+    /// One-letter line tag in the text format.
+    pub fn tag(self) -> char {
+        match self {
+            OutageKind::Down => 'D',
+            OutageKind::Drain => 'G',
+            OutageKind::Rejoin => 'R',
+        }
+    }
+}
+
+/// One timestamped capacity event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageEvent {
+    /// When the event applies (simulation clock).
+    pub at: SimTime,
+    pub kind: OutageKind,
+    /// Which shard the capacity belongs to; `0` on a single machine.
+    pub shard: u32,
+    /// Node index within the shard, or `None` for the whole shard
+    /// (rolling maintenance: every node of the shard at once).
+    pub node: Option<u32>,
+}
+
+/// An ordered, validated outage schedule. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OutageSchedule {
+    events: Vec<OutageEvent>,
+}
+
+impl OutageSchedule {
+    /// Build and validate a schedule: timestamps must be non-decreasing.
+    /// Shard/node indices are validated against the actual machine shape
+    /// by the driver at run start (the schedule itself is shape-agnostic).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-order timestamps.
+    pub fn new(events: Vec<OutageEvent>) -> Result<Self, String> {
+        let mut last = SimTime::ZERO;
+        for (i, e) in events.iter().enumerate() {
+            if e.at < last {
+                return Err(format!(
+                    "event {i}: timestamp {} precedes predecessor {last}",
+                    e.at
+                ));
+            }
+            last = e.at;
+        }
+        Ok(OutageSchedule { events })
+    }
+
+    /// The empty schedule: no capacity events, behaviorally identical to
+    /// running without outage injection at all (a property the proptests
+    /// pin bitwise).
+    pub fn empty() -> Self {
+        OutageSchedule::default()
+    }
+
+    /// Synthesize per-node hard outages from an alternating renewal
+    /// process: each of `nodes` nodes (on shard 0) draws exponential
+    /// time-to-failure (mean `mtbf_hours`) and time-to-repair (mean
+    /// `mttr_hours`) from a counter-based SplitMix64 stream keyed by
+    /// `(seed, node, step)`, walking `Down`/`Rejoin` pairs until
+    /// `horizon`. Deterministic for a given `(seed, nodes, rates)`.
+    pub fn from_mtbf(
+        seed: u64,
+        nodes: u32,
+        mtbf_hours: f64,
+        mttr_hours: f64,
+        horizon: SimDuration,
+    ) -> Self {
+        assert!(mtbf_hours > 0.0 && mttr_hours > 0.0);
+        let mut events = Vec::new();
+        for node in 0..nodes {
+            let mut t = 0u64;
+            let mut step = 0u64;
+            loop {
+                let ttf = exp_draw(seed, node, step, mtbf_hours);
+                step += 1;
+                t = t.saturating_add(ttf);
+                if t >= horizon.as_secs() {
+                    break;
+                }
+                events.push(OutageEvent {
+                    at: SimTime::from_secs(t),
+                    kind: OutageKind::Down,
+                    shard: 0,
+                    node: Some(node),
+                });
+                let ttr = exp_draw(seed, node, step, mttr_hours);
+                step += 1;
+                t = t.saturating_add(ttr);
+                if t >= horizon.as_secs() {
+                    break;
+                }
+                events.push(OutageEvent {
+                    at: SimTime::from_secs(t),
+                    kind: OutageKind::Rejoin,
+                    shard: 0,
+                    node: Some(node),
+                });
+            }
+        }
+        // Total order: (at, shard, node, kind) — node-index ties are
+        // resolved deterministically regardless of generation order.
+        events.sort_by_key(|e| (e.at, e.shard, e.node, e.kind));
+        OutageSchedule { events }
+    }
+
+    /// Expand explicit maintenance windows into drain/rejoin pairs: each
+    /// window takes its capacity out at `start` (gracefully unless
+    /// `hard`) and returns it at `end`.
+    ///
+    /// # Errors
+    ///
+    /// A window with `end <= start`, or any [`OutageSchedule::new`]
+    /// validation error after expansion.
+    pub fn maintenance_windows(windows: &[MaintenanceWindow]) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (i, w) in windows.iter().enumerate() {
+            if w.end <= w.start {
+                return Err(format!(
+                    "window {i}: end {} does not follow start {}",
+                    w.end, w.start
+                ));
+            }
+            let kind = if w.hard {
+                OutageKind::Down
+            } else {
+                OutageKind::Drain
+            };
+            events.push(OutageEvent {
+                at: w.start,
+                kind,
+                shard: w.shard,
+                node: w.node,
+            });
+            events.push(OutageEvent {
+                at: w.end,
+                kind: OutageKind::Rejoin,
+                shard: w.shard,
+                node: w.node,
+            });
+        }
+        events.sort_by_key(|e| (e.at, e.shard, e.node, e.kind));
+        OutageSchedule::new(events)
+    }
+
+    pub fn events(&self) -> &[OutageEvent] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Largest shard index any event addresses, or `None` for an empty
+    /// schedule (used by the driver's shape check).
+    pub fn max_shard(&self) -> Option<u32> {
+        self.events.iter().map(|e| e.shard).max()
+    }
+
+    /// Serialise to the text interchange format (see the module docs).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(24 * (self.events.len() + 1));
+        let _ = writeln!(out, "; HWS-OutageSchedule: 1");
+        for e in &self.events {
+            let node = match e.node {
+                Some(n) => n.to_string(),
+                None => "*".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                e.kind.tag(),
+                e.at.as_secs(),
+                e.shard,
+                node
+            );
+        }
+        out
+    }
+
+    /// Parse the text interchange format produced by
+    /// [`OutageSchedule::to_text`], re-running full validation.
+    ///
+    /// # Errors
+    ///
+    /// Line-tagged messages for malformed lines, plus every
+    /// [`OutageSchedule::new`] validation error.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut tagged = false;
+        let mut events = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let ln = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix(';') {
+                if let Some(v) = comment.trim().strip_prefix("HWS-OutageSchedule:") {
+                    tagged = v.trim() == "1";
+                }
+                continue;
+            }
+            if !tagged {
+                return Err(format!(
+                    "line {ln}: data before the HWS-OutageSchedule header"
+                ));
+            }
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 4 {
+                return Err(format!("line {ln}: event takes 4 fields, got {}", f.len()));
+            }
+            let kind = match f[0] {
+                "D" => OutageKind::Down,
+                "G" => OutageKind::Drain,
+                "R" => OutageKind::Rejoin,
+                other => return Err(format!("line {ln}: unknown event tag {other}")),
+            };
+            let at = f[1]
+                .parse::<u64>()
+                .map_err(|e| format!("line {ln}: at: {e}"))?;
+            let shard = f[2]
+                .parse::<u32>()
+                .map_err(|e| format!("line {ln}: shard: {e}"))?;
+            let node = match f[3] {
+                "*" => None,
+                n => Some(
+                    n.parse::<u32>()
+                        .map_err(|e| format!("line {ln}: node: {e}"))?,
+                ),
+            };
+            events.push(OutageEvent {
+                at: SimTime::from_secs(at),
+                kind,
+                shard,
+                node,
+            });
+        }
+        if !tagged {
+            return Err("missing HWS-OutageSchedule header".to_string());
+        }
+        OutageSchedule::new(events)
+    }
+
+    /// Write the schedule to a file (text format).
+    ///
+    /// # Errors
+    ///
+    /// IO failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Read and validate a schedule from a file (text format).
+    ///
+    /// # Errors
+    ///
+    /// IO failures and every [`OutageSchedule::from_text`] error.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_text(&text)
+    }
+}
+
+/// One explicit maintenance window for
+/// [`OutageSchedule::maintenance_windows`]: the addressed capacity is out
+/// of service over `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceWindow {
+    pub shard: u32,
+    /// Node index, or `None` for the whole shard.
+    pub node: Option<u32>,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// `true` evicts residents at `start` ([`OutageKind::Down`]); `false`
+    /// drains gracefully.
+    pub hard: bool,
+}
+
+/// SplitMix64 — the same tiny counter-based generator the failure
+/// injector uses, keyed here by `(seed, node, step)`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exponential draw with mean `mean_hours`, at least one second, from the
+/// `(seed, node, step)` counter key.
+fn exp_draw(seed: u64, node: u32, step: u64, mean_hours: f64) -> u64 {
+    let h = splitmix64(seed ^ splitmix64(u64::from(node) ^ splitmix64(step)));
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64 + f64::MIN_POSITIVE;
+    let d = -mean_hours * 3_600.0 * u.ln();
+    d.max(1.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: OutageKind, shard: u32, node: Option<u32>) -> OutageEvent {
+        OutageEvent {
+            at: SimTime::from_secs(at),
+            kind,
+            shard,
+            node,
+        }
+    }
+
+    #[test]
+    fn new_rejects_out_of_order_times() {
+        let err = OutageSchedule::new(vec![
+            ev(100, OutageKind::Down, 0, Some(1)),
+            ev(50, OutageKind::Rejoin, 0, Some(1)),
+        ])
+        .unwrap_err();
+        assert!(err.contains("precedes"), "{err}");
+    }
+
+    #[test]
+    fn text_round_trip_is_lossless() {
+        let s = OutageSchedule::new(vec![
+            ev(10, OutageKind::Drain, 0, Some(3)),
+            ev(20, OutageKind::Down, 1, None),
+            ev(30, OutageKind::Rejoin, 1, None),
+            ev(30, OutageKind::Rejoin, 0, Some(3)),
+        ])
+        .unwrap();
+        let text = s.to_text();
+        let back = OutageSchedule::from_text(&text).unwrap();
+        assert_eq!(s, back);
+        // And the rendering itself is stable.
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn from_text_rejects_untagged_and_malformed() {
+        assert!(OutageSchedule::from_text("D,1,0,0\n").is_err());
+        assert!(OutageSchedule::from_text("").is_err());
+        let hdr = "; HWS-OutageSchedule: 1\n";
+        assert!(OutageSchedule::from_text(&format!("{hdr}X,1,0,0\n")).is_err());
+        assert!(OutageSchedule::from_text(&format!("{hdr}D,1,0\n")).is_err());
+        assert!(OutageSchedule::from_text(&format!("{hdr}D,nope,0,0\n")).is_err());
+        assert!(OutageSchedule::from_text(&format!("{hdr}D,1,0,*\n")).is_ok());
+    }
+
+    #[test]
+    fn from_mtbf_is_deterministic_and_alternates() {
+        let a = OutageSchedule::from_mtbf(7, 4, 100.0, 4.0, SimDuration::from_days(30));
+        let b = OutageSchedule::from_mtbf(7, 4, 100.0, 4.0, SimDuration::from_days(30));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = OutageSchedule::from_mtbf(8, 4, 100.0, 4.0, SimDuration::from_days(30));
+        assert_ne!(a, c);
+        // Per node, events strictly alternate Down/Rejoin starting Down.
+        for node in 0..4u32 {
+            let seq: Vec<OutageKind> = a
+                .events()
+                .iter()
+                .filter(|e| e.node == Some(node))
+                .map(|e| e.kind)
+                .collect();
+            for (i, k) in seq.iter().enumerate() {
+                let want = if i % 2 == 0 {
+                    OutageKind::Down
+                } else {
+                    OutageKind::Rejoin
+                };
+                assert_eq!(*k, want, "node {node} event {i}");
+            }
+        }
+        // Times are globally non-decreasing (schedule invariant).
+        assert!(a.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn maintenance_windows_expand_and_validate() {
+        let s = OutageSchedule::maintenance_windows(&[
+            MaintenanceWindow {
+                shard: 0,
+                node: Some(2),
+                start: SimTime::from_secs(100),
+                end: SimTime::from_secs(200),
+                hard: false,
+            },
+            MaintenanceWindow {
+                shard: 1,
+                node: None,
+                start: SimTime::from_secs(150),
+                end: SimTime::from_secs(300),
+                hard: true,
+            },
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.events()[0].kind, OutageKind::Drain);
+        assert_eq!(s.events()[1].kind, OutageKind::Down);
+        assert_eq!(s.events()[1].node, None);
+        assert_eq!(s.max_shard(), Some(1));
+        // Degenerate window rejected.
+        assert!(OutageSchedule::maintenance_windows(&[MaintenanceWindow {
+            shard: 0,
+            node: None,
+            start: SimTime::from_secs(5),
+            end: SimTime::from_secs(5),
+            hard: false,
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn empty_schedule_round_trips() {
+        let s = OutageSchedule::empty();
+        assert_eq!(OutageSchedule::from_text(&s.to_text()).unwrap(), s);
+        assert_eq!(s.max_shard(), None);
+    }
+}
