@@ -40,9 +40,26 @@
 //!   same way, keeping the binary usable on partial regen directories.
 //!
 //! `BENCH_decision_latency.json` is pure wall-clock and is *not* gated.
+//!
+//! ## `--perf` mode
+//!
+//! With `--perf`, the deterministic comparisons above are replaced by a
+//! soft throughput gate: every regenerated `events_per_sec` must stay at
+//! or above [`PERF_FLOOR`] × the committed value, for the throughput rows
+//! (matched by `(source, mechanism)`) and the archive rows (matched by
+//! `(profile, mechanism)`). Wall-clock numbers vary between machines, so
+//! the floor is deliberately loose — it exists to catch the pathological
+//! regression (an accidental O(Q log Q) reintroduction), not a noisy few
+//! percent. Missing regen files are skipped with a note so the gate is
+//! usable on partial regen directories. The CI `perf-regression` job runs
+//! this mode on every PR.
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
+
+/// `--perf` mode floor: regenerated `events_per_sec` must be at least this
+/// fraction of the committed baseline (i.e. fail on a >25% drop).
+const PERF_FLOOR: f64 = 0.75;
 
 /// Deterministic columns of the throughput baseline.
 const THROUGHPUT_KEYS: [&str; 7] = [
@@ -76,11 +93,21 @@ const SERVICE_KEYS: [&str; 5] = [
 ];
 
 fn main() {
-    let regen_dir = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("regen"));
+    let mut perf = false;
+    let mut dir: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--perf" {
+            perf = true;
+        } else {
+            dir = Some(PathBuf::from(arg));
+        }
+    }
+    let regen_dir = dir.unwrap_or_else(|| PathBuf::from("regen"));
     let root = workspace_root();
+    if perf {
+        perf_gate(&root, &regen_dir);
+        return;
+    }
     let mut failures = Vec::new();
 
     for file in [
@@ -143,6 +170,108 @@ fn main() {
 /// Workspace root, next to the committed baselines.
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// `--perf` mode (see the module docs): soft `events_per_sec` floor on the
+/// throughput and archive-replay baselines.
+fn perf_gate(root: &Path, regen_dir: &Path) {
+    let mut failures = Vec::new();
+    for (file, row_key) in [
+        (
+            "BENCH_simulator_throughput.json",
+            &["source", "mechanism"] as &[&str],
+        ),
+        ("BENCH_archive_replay.json", &["profile", "mechanism"]),
+    ] {
+        if let Err(e) = compare_perf(&root.join(file), &regen_dir.join(file), row_key) {
+            failures.push((file, e));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "baseline-parity --perf: regenerated events_per_sec within {:.0}% of every \
+             committed baseline row",
+            (1.0 - PERF_FLOOR) * 100.0
+        );
+        return;
+    }
+    for (file, why) in &failures {
+        eprintln!("baseline-parity --perf FAILED for {file}:\n{why}\n");
+    }
+    eprintln!(
+        "Regenerated events_per_sec fell more than {:.0}% below the committed baseline.\n\
+         If the slowdown is *intended* (a deliberate trade for correctness or a feature),\n\
+         re-record the affected baselines and commit them:\n\
+         \n\
+         \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin throughput\n\
+         \tHWS_SCALE=full HWS_SEEDS=2 cargo run --release -p hws-bench --bin archive_replay\n\
+         \n\
+         and explain the movement in the PR description. If it is *unintended*, profile the\n\
+         change — the usual culprit is per-event work that used to be per-pass (see\n\
+         DESIGN.md §15 for the queue-maintenance asymptotics this gate protects).",
+        (1.0 - PERF_FLOOR) * 100.0
+    );
+    exit(1);
+}
+
+/// Soft throughput comparison for one baseline file: every regenerated row
+/// (matched to its committed counterpart by `row_key`) must keep
+/// `events_per_sec >= PERF_FLOOR ×` the committed value. Regen may be
+/// partial: committed-only rows and a missing regen file are skipped with
+/// a note.
+fn compare_perf(committed: &Path, regenerated: &Path, row_key: &[&str]) -> Result<(), String> {
+    let committed_json = read(committed)?;
+    let regenerated_json = match read(regenerated) {
+        Ok(json) => json,
+        Err(_) => {
+            println!(
+                "baseline-parity --perf: note: {} not regenerated; skipped",
+                regenerated.display()
+            );
+            return Ok(());
+        }
+    };
+    let key_of = |row: &&str| -> Vec<String> {
+        row_key
+            .iter()
+            .map(|k| field(row, k).unwrap_or("<missing>").to_string())
+            .collect()
+    };
+    let committed_rows = rows(&committed_json);
+    let mut checked = 0usize;
+    for rb in rows(&regenerated_json) {
+        let key = key_of(&rb);
+        let Some(ra) = committed_rows.iter().find(|ra| key_of(ra) == key) else {
+            return Err(format!(
+                "regenerated row {key:?} has no committed counterpart"
+            ));
+        };
+        let parse = |row: &str, which: &str| -> Result<f64, String> {
+            field(row, "events_per_sec")
+                .and_then(|v| v.parse::<f64>().ok())
+                .ok_or_else(|| format!("row {key:?}: {which} events_per_sec missing"))
+        };
+        let va = parse(ra, "committed")?;
+        let vb = parse(rb, "regenerated")?;
+        if vb < va * PERF_FLOOR {
+            return Err(format!(
+                "row {key:?}: events_per_sec regressed beyond the {:.0}% floor\n  \
+                 committed:   {va:.0}\n  regenerated: {vb:.0}  ({:.1}% of committed)",
+                (1.0 - PERF_FLOOR) * 100.0,
+                vb / va * 100.0
+            ));
+        }
+        checked += 1;
+    }
+    let unchecked = committed_rows.len().saturating_sub(checked);
+    if unchecked > 0 {
+        println!(
+            "baseline-parity --perf: note: {unchecked} committed rows of {} not \
+             regenerated; checked the other {checked}",
+            committed.file_name().unwrap_or_default().to_string_lossy()
+        );
+    }
+    Ok(())
 }
 
 fn read(path: &Path) -> Result<String, String> {

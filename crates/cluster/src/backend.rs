@@ -116,6 +116,26 @@ pub trait ClusterBackend: std::fmt::Debug + Send {
     /// A running job's `(plain busy, squatted)` node split. O(1).
     fn split_of(&self, job: JobId) -> (u32, u32);
 
+    /// Visit every running job with a non-zero *plain* (non-squatted)
+    /// node count — the jobs whose release feeds the free pool — yielding
+    /// that count, restricted to `shard` when given. Iteration order is
+    /// the backend's internal order, as for
+    /// [`ClusterBackend::for_each_running`]; the one hot caller (the EASY
+    /// shadow projection) sorts what it collects. Concrete backends
+    /// override this with a single walk of their split counters instead of
+    /// a per-job `split_of` lookup.
+    fn for_each_plain_split(&self, shard: Option<usize>, f: &mut dyn FnMut(JobId, u32)) {
+        self.for_each_running(&mut |j| {
+            if shard.is_some() && self.shard_of(j) != shard {
+                return;
+            }
+            let (plain, _) = self.split_of(j);
+            if plain > 0 {
+                f(j, plain);
+            }
+        });
+    }
+
     /// Jobs squatting on `holder`'s reserved nodes, in job-id order.
     fn squatters(&self, holder: JobId) -> Vec<(JobId, u32)>;
 
@@ -293,6 +313,10 @@ impl ClusterBackend for Cluster {
 
     fn split_of(&self, job: JobId) -> (u32, u32) {
         Cluster::split_of(self, job)
+    }
+
+    fn for_each_plain_split(&self, _shard: Option<usize>, f: &mut dyn FnMut(JobId, u32)) {
+        Cluster::for_each_plain_split(self, f)
     }
 
     fn squatters(&self, holder: JobId) -> Vec<(JobId, u32)> {

@@ -457,6 +457,20 @@ impl ClusterBackend for Federation {
         }
     }
 
+    fn for_each_plain_split(&self, shard: Option<usize>, f: &mut dyn FnMut(JobId, u32)) {
+        match shard {
+            // A placed job's home shard holds exactly the running jobs
+            // whose `shard_of` is that shard — the other shards need not
+            // be walked at all.
+            Some(s) => self.shards[s].for_each_plain_split(f),
+            None => {
+                for c in &self.shards {
+                    c.for_each_plain_split(f);
+                }
+            }
+        }
+    }
+
     fn squatters(&self, holder: JobId) -> Vec<(JobId, u32)> {
         match self.home_of(holder) {
             Some(s) => self.shards[s].squatters(holder),

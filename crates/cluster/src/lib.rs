@@ -101,6 +101,11 @@ pub struct Cluster {
     draining: BTreeSet<u32>,
     /// Running count of [`NodeState::Down`] nodes.
     down_count: u32,
+    /// Recycled node-list buffers: `release` parks each emptied allocation
+    /// `Vec` here and the allocate paths draw from it, so steady-state
+    /// replay does one node-list malloc per *concurrent* job instead of
+    /// one per job. Pure capacity reuse — never observable state.
+    spare: Vec<Vec<NodeId>>,
 }
 
 impl Cluster {
@@ -116,6 +121,25 @@ impl Cluster {
             reserved_idle_total: 0,
             draining: BTreeSet::new(),
             down_count: 0,
+            spare: Vec::new(),
+        }
+    }
+
+    /// Take a cleared node buffer with room for `k` ids, recycling a
+    /// retired allocation's capacity when one is parked.
+    fn fresh_nodes(&mut self, k: usize) -> Vec<NodeId> {
+        let mut v = self.spare.pop().unwrap_or_default();
+        debug_assert!(v.is_empty());
+        v.reserve(k);
+        v
+    }
+
+    /// Park an emptied node buffer for reuse. Bounded so pathological
+    /// bursts cannot pin unbounded capacity.
+    fn retire_nodes(&mut self, mut v: Vec<NodeId>) {
+        if self.spare.len() < 128 && v.capacity() > 0 {
+            v.clear();
+            self.spare.push(v);
         }
     }
 
@@ -153,8 +177,14 @@ impl Cluster {
         self.free_list.len() as u32
     }
 
-    /// Idle nodes reserved for `holder`.
+    /// Idle nodes reserved for `holder`. The running total short-circuits
+    /// the probe: with nothing reserved machine-wide (the common state —
+    /// reservations exist only around on-demand notices) no holder can
+    /// have any.
     pub fn reserved_idle_count(&self, holder: JobId) -> u32 {
+        if self.reserved_idle_total == 0 {
+            return 0;
+        }
         self.reserved_idle
             .get(&holder)
             .map_or(0, |v| v.len() as u32)
@@ -181,6 +211,18 @@ impl Cluster {
 
     pub fn running_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
         self.alloc.keys().copied()
+    }
+
+    /// Visit every running job with a non-zero plain node count, yielding
+    /// that count: one walk of the incremental split counters, no per-job
+    /// lookups. Same unordered iteration contract as
+    /// [`Cluster::running_jobs`].
+    pub fn for_each_plain_split(&self, f: &mut dyn FnMut(JobId, u32)) {
+        for (&j, s) in &self.splits {
+            if s.plain > 0 {
+                f(j, s.plain);
+            }
+        }
     }
 
     pub fn nodes_of(&self, job: JobId) -> &[NodeId] {
@@ -287,7 +329,7 @@ impl Cluster {
         if self.free_count() < k {
             return None;
         }
-        let mut nodes = Vec::with_capacity(k as usize);
+        let mut nodes = self.fresh_nodes(k as usize);
         for _ in 0..k {
             let id = self.free_list.pop().expect("free_count checked");
             self.nodes[id.index()] = NodeState::Busy { job };
@@ -314,7 +356,7 @@ impl Cluster {
         if own_reserved + self.free_count() < k {
             return None;
         }
-        let mut nodes = Vec::with_capacity(k as usize);
+        let mut nodes = self.fresh_nodes(k as usize);
         if let Some(idle) = self.reserved_idle.get_mut(&job) {
             while nodes.len() < k as usize {
                 match idle.pop() {
@@ -376,7 +418,7 @@ impl Cluster {
         if avail < k {
             return None;
         }
-        let mut nodes = Vec::with_capacity(k as usize);
+        let mut nodes = self.fresh_nodes(k as usize);
         while nodes.len() < k as usize {
             match self.free_list.pop() {
                 Some(id) => {
@@ -440,7 +482,10 @@ impl Cluster {
     /// draining goes [`NodeState::Down`] here instead; returns whether the
     /// node actually became free.
     fn free_node(&mut self, id: NodeId) -> bool {
-        if self.draining.remove(&id.0) {
+        // `is_empty` guard: with no drains pending (the common case — a
+        // whole replay without outages never marks one) the per-node tree
+        // probe collapses to a length check.
+        if !self.draining.is_empty() && self.draining.remove(&id.0) {
             self.nodes[id.index()] = NodeState::Down;
             self.down_count += 1;
             false
@@ -454,7 +499,7 @@ impl Cluster {
     /// Dispose of one vacated squatted node: back to `holder`'s
     /// reservation, or straight down if the node is draining.
     fn unsquat_node(&mut self, id: NodeId, holder: JobId) -> bool {
-        if self.draining.remove(&id.0) {
+        if !self.draining.is_empty() && self.draining.remove(&id.0) {
             self.nodes[id.index()] = NodeState::Down;
             self.down_count += 1;
             false
@@ -470,11 +515,11 @@ impl Cluster {
     /// squatted nodes return to their holder's reservation. Nodes marked
     /// draining leave service instead and appear in neither bucket.
     pub fn release(&mut self, job: JobId) -> ReleaseOutcome {
-        let nodes = self.alloc.remove(&job).unwrap_or_default();
+        let mut nodes = self.alloc.remove(&job).unwrap_or_default();
         self.splits.remove(&job);
         let mut out = ReleaseOutcome::default();
         let mut unsquat: Vec<(JobId, u32)> = Vec::new();
-        for id in nodes {
+        for id in nodes.drain(..) {
             match self.nodes[id.index()] {
                 NodeState::Busy { job: j } => {
                     debug_assert_eq!(j, job);
@@ -501,6 +546,7 @@ impl Cluster {
         for &(holder, k) in &unsquat {
             self.note_unsquat(holder, job, k);
         }
+        self.retire_nodes(nodes);
         out
     }
 
@@ -509,6 +555,7 @@ impl Cluster {
     /// the free pool, while squatted nodes would leak to their reservation
     /// holders instead. Panics if the job would drop below one node.
     pub fn shrink(&mut self, job: JobId, k: u32) -> ReleaseOutcome {
+        let mut removed = self.fresh_nodes(k as usize);
         let nodes = self.alloc.get_mut(&job).expect("shrink of non-running job");
         assert!(
             (nodes.len() as u32) > k,
@@ -532,8 +579,8 @@ impl Cluster {
         // One O(n) drain, not k front-shifts; yields the same nodes in the
         // same order, so the free-list/reservation push order (and with it
         // bitwise determinism) is unchanged.
-        let removed: Vec<NodeId> = nodes.drain(..k as usize).collect();
-        for id in removed {
+        removed.extend(nodes.drain(..k as usize));
+        for id in removed.drain(..) {
             match self.nodes[id.index()] {
                 NodeState::Busy { .. } => {
                     plain_removed += 1;
@@ -564,6 +611,7 @@ impl Cluster {
         for &(holder, c) in &unsquat {
             self.note_unsquat(holder, job, c);
         }
+        self.retire_nodes(removed);
         out
     }
 

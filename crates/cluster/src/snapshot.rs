@@ -298,6 +298,7 @@ impl Cluster {
             reserved_idle_total,
             draining: draining.into_iter().collect(),
             down_count,
+            spare: Vec::new(),
         };
         cluster
             .check_invariants()

@@ -30,20 +30,83 @@ pub fn compute_shadow(releases: &mut [(SimTime, u32)], avail_now: u32, need: u32
             extra: avail_now - need,
         };
     }
-    releases.sort_by_key(|&(t, n)| (t, n));
-    let mut have = avail_now;
-    for &(end, nodes) in releases.iter() {
-        have += nodes;
-        if have >= need {
-            return Shadow {
-                time: end,
-                extra: have - need,
-            };
+    // Two equivalent selection strategies — both walk releases in
+    // ascending `(end, nodes)` order until the cumulative count crosses
+    // `need`, so they return bit-identical shadows (entries tied on the
+    // whole pair are interchangeable: same cumulative sums, same crossing
+    // entry). Which is cheaper depends on how deep the walk goes:
+    //
+    // * a small deficit crosses within a handful of releases — heapify
+    //   (O(R)) plus k pops (O(k log R)) beats sorting everything;
+    // * a deficit near the total projected release count consumes most of
+    //   the heap, and R pops cost more than one good sort.
+    //
+    // The deficit and the release total are both known up front, so pick
+    // per call. The cutoff only affects speed, never the result.
+    let len = releases.len();
+    let deficit = need - avail_now;
+    let total: u32 = releases.iter().map(|&(_, n)| n).sum();
+    if deficit.saturating_mul(4) <= total {
+        // Expected crossing depth ≲ R/4 (the deficit is at most a quarter
+        // of the projected release total): heap selection.
+        for i in (0..len / 2).rev() {
+            sift_down(releases, i, len);
+        }
+        let mut have = avail_now;
+        let mut live = len;
+        while live > 0 {
+            let (end, nodes) = releases[0];
+            have += nodes;
+            if have >= need {
+                return Shadow {
+                    time: end,
+                    extra: have - need,
+                };
+            }
+            live -= 1;
+            releases.swap(0, live);
+            sift_down(releases, 0, live);
+        }
+    } else {
+        // Deep walk expected: one unstable sort (key is the whole
+        // element, so instability is harmless) then a linear scan.
+        releases.sort_unstable_by_key(|&(t, n)| (t, n));
+        let mut have = avail_now;
+        for &(end, nodes) in releases.iter() {
+            have += nodes;
+            if have >= need {
+                return Shadow {
+                    time: end,
+                    extra: have - need,
+                };
+            }
         }
     }
     Shadow {
         time: SimTime::MAX,
         extra: avail_now,
+    }
+}
+
+/// Restore the min-heap property for the subtree rooted at `i` within
+/// `heap[..len]` (ordering on the whole `(end, nodes)` tuple).
+fn sift_down(heap: &mut [(SimTime, u32)], mut i: usize, len: usize) {
+    loop {
+        let l = 2 * i + 1;
+        if l >= len {
+            return;
+        }
+        let mut c = l;
+        let r = l + 1;
+        if r < len && heap[r] < heap[l] {
+            c = r;
+        }
+        if heap[c] < heap[i] {
+            heap.swap(c, i);
+            i = c;
+        } else {
+            return;
+        }
     }
 }
 

@@ -203,6 +203,13 @@ pub struct SimConfig {
     /// is bitwise-identical to builds without the outage engine). Set via
     /// [`SimConfig::with_outages`].
     pub outages: Option<OutageSchedule>,
+    /// Testing oracle: schedule a scheduling pass for *every* pass request
+    /// instead of coalescing same-tick requests into one `Ev::Pass`. The
+    /// extra passes run back-to-back on unchanged state and start nothing,
+    /// so results are bitwise-identical — the coalescing-equivalence
+    /// proptest exercises both ways. Never set in production paths.
+    #[doc(hidden)]
+    pub pass_per_event: bool,
 }
 
 impl Default for SimConfig {
@@ -225,6 +232,7 @@ impl Default for SimConfig {
             hooks: None,
             federation: None,
             outages: None,
+            pass_per_event: false,
         }
     }
 }

@@ -389,8 +389,10 @@ impl<B: ClusterBackend> SimCore<B> {
             since: now,
         });
         self.st_mut(j).status = Status::Waiting;
-        self.queue.push(j);
+        // Front-of-queue class: `od_front` membership must be final
+        // before the enqueue so the index files the job under class 0.
         self.od_front.insert(j);
+        self.enqueue_waiting(j);
         self.offer_free_nodes(now);
         self.request_pass(now, q);
         if self.cfg.measure_decisions {

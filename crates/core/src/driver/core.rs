@@ -10,6 +10,7 @@ use super::alloc::Claim;
 use super::events::Ev;
 use super::hooks::{hooks_for, MechanismHooks};
 use super::outage::OutageState;
+use super::waitq::WaitQueue;
 use crate::config::SimConfig;
 use crate::failure::time_to_failure;
 use crate::jobstate::{
@@ -22,6 +23,7 @@ use hws_cluster::{Cluster, ClusterBackend, LeaseLedger};
 use hws_metrics::{Recorder, ShardStat};
 use hws_sim::{EventId, EventQueue, SimDuration, SimTime};
 use hws_workload::{JobClass, JobId, JobKind, JobSpec};
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -42,8 +44,11 @@ pub struct SimCore<B: ClusterBackend = Cluster> {
     pub(super) hooks: Arc<dyn MechanismHooks>,
     pub(super) table: JobTable,
     pub(super) cluster: B,
-    /// Waiting jobs (unordered; sorted per pass by the queue policy).
-    pub(super) queue: Vec<JobId>,
+    /// Waiting jobs, maintained in priority order across events: a
+    /// `BTreeSet<(QueueKey, JobId)>` updated only on priority-relevant
+    /// transitions, so a scheduling pass reads the order instead of
+    /// re-sorting O(Q log Q) per pass (see [`super::waitq`]).
+    pub(super) queue: WaitQueue,
     /// Arrived on-demand jobs that could not start instantly ("front of
     /// the queue", §III-B2). Index set: O(log n) membership tests from the
     /// queue-key computation, no linear `contains`/`retain` per event.
@@ -69,6 +74,11 @@ pub struct SimCore<B: ClusterBackend = Cluster> {
     pub(super) cap_running: u32,
     /// Reusable hot-path buffers (see [`super::pass`]).
     pub(super) scratch: Scratch,
+    /// Memoized Daly checkpoint intervals by job size. `CkptConfig` is
+    /// fixed for the core's lifetime, so the sqrt-heavy formula is pure in
+    /// the size — evaluated once per distinct size instead of per backfill
+    /// probe. Derived cache: never snapshotted, rebuilt on demand.
+    pub(super) tau_memo: RefCell<Vec<Option<Option<SimDuration>>>>,
     /// Per-shard accumulation, active only for sharded backends
     /// ([`ClusterBackend::shard_labels`] is `Some`): occupancy
     /// node-seconds and job starts, indexed by shard.
@@ -84,17 +94,34 @@ pub struct SimCore<B: ClusterBackend = Cluster> {
 
 /// Scratch buffers recycled across scheduling passes so the hot path does
 /// not allocate per event: the ordered queue snapshot, the shadow release
-/// profile, the started-set of a pass, and the victim/candidate snapshots
-/// of notice handling. Callers `mem::take` a buffer, use it, clear it, and
-/// put it back (the buffers are empty between passes).
+/// profile, and the victim/candidate snapshots of notice handling.
+/// Callers `mem::take` a buffer, use it, clear it, and put it back via
+/// [`Scratch::stow`] (the buffers are empty between passes).
 #[derive(Debug, Default)]
 pub(super) struct Scratch {
     pub(super) ordered: Vec<JobId>,
     pub(super) keys: Vec<(QueueKey, JobId)>,
     pub(super) releases: Vec<(SimTime, u32)>,
-    pub(super) started: Vec<JobId>,
     pub(super) victim_ids: Vec<JobId>,
     pub(super) candidates: Vec<crate::mechanism::CupCandidate>,
+}
+
+/// Entries a recycled scratch buffer may keep capacity for between
+/// passes. A one-off queue spike (an outage dumping thousands of jobs
+/// back into the queue, say) must not pin its high-water allocation for
+/// the rest of a million-job replay.
+pub(super) const SCRATCH_RETAIN: usize = 1024;
+
+impl Scratch {
+    /// Clear a taken buffer and put it back, capping retained capacity at
+    /// [`SCRATCH_RETAIN`] entries.
+    pub(super) fn stow<T>(slot: &mut Vec<T>, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() > SCRATCH_RETAIN {
+            buf.shrink_to(SCRATCH_RETAIN);
+        }
+        *slot = buf;
+    }
 }
 
 impl SimCore {
@@ -111,13 +138,14 @@ impl<B: ClusterBackend> SimCore<B> {
         let track_shards = backend.shard_labels().is_some();
         let n_shards = backend.shard_count();
         let outage = cfg.outages.as_ref().map(|_| OutageState::default());
+        let queue = WaitQueue::new();
         SimCore {
             rec: Recorder::new(backend.total_nodes()),
             cluster: backend,
             hooks: hooks_for(&cfg),
             cfg,
             table: JobTable::new(),
-            queue: Vec::new(),
+            queue,
             od_front: BTreeSet::new(),
             claims: Vec::new(),
             leases: LeaseLedger::new(),
@@ -128,6 +156,7 @@ impl<B: ClusterBackend> SimCore<B> {
             pass_pending: false,
             cap_running: 0,
             scratch: Scratch::default(),
+            tau_memo: RefCell::new(Vec::new()),
             shard_occ: vec![0; if track_shards { n_shards } else { 0 }],
             shard_starts: vec![0; if track_shards { n_shards } else { 0 }],
             track_shards,
@@ -269,8 +298,15 @@ impl<B: ClusterBackend> SimCore<B> {
         !self.cfg.mechanism.is_baseline()
     }
 
+    /// Request a scheduling pass at `now`. Same-tick requests coalesce:
+    /// the first request schedules one `Ev::Pass` (which, carrying the
+    /// latest dynamic sequence number, is delivered *after* every
+    /// already-queued event at this tick), and further requests while it
+    /// is pending are no-ops — one pass per tick of state updates. The
+    /// hidden [`SimConfig::pass_per_event`] oracle disables the dedup so
+    /// the equivalence proptest can compare both ways bitwise.
     pub(super) fn request_pass(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
-        if !self.pass_pending {
+        if !self.pass_pending || self.cfg.pass_per_event {
             self.pass_pending = true;
             q.schedule(now, Ev::Pass);
         }
@@ -282,28 +318,30 @@ impl<B: ClusterBackend> SimCore<B> {
 
     /// Remaining *estimated* work of a job (scheduler view; the user
     /// estimate minus preserved progress). Always ≥ the actual remainder.
-    pub(super) fn est_remaining_work(&self, j: JobId) -> SimDuration {
-        let spec = self.spec(j);
-        let st = self.st(j);
+    pub(super) fn est_remaining_work_of(spec: &JobSpec, st: &JobState) -> SimDuration {
         let done = spec.work.saturating_sub(st.remaining_work);
         spec.estimate.saturating_sub(done).max(SimDuration::SECOND)
     }
 
-    /// Estimated wall occupancy if `j` started now at `size` nodes.
-    pub(super) fn est_wall(&self, j: JobId, size: u32) -> SimDuration {
-        let spec = self.spec(j);
+    /// [`Self::est_remaining_work_of`] by job id (one table probe).
+    pub(super) fn est_remaining_work(&self, j: JobId) -> SimDuration {
+        let (st, spec) = self.table.state_spec(j);
+        Self::est_remaining_work_of(spec, st)
+    }
+
+    /// Estimated wall occupancy if the job started now at `size` nodes.
+    pub(super) fn est_wall_of(&self, spec: &JobSpec, st: &JobState, size: u32) -> SimDuration {
         match spec.kind {
             JobKind::Malleable => {
-                let st = self.st(j);
                 let est_total_ns = spec.estimate.as_secs() * u64::from(spec.size);
                 let done_ns = spec.work_node_seconds().saturating_sub(st.remaining_ns);
                 let rem = est_total_ns.saturating_sub(done_ns).max(1);
                 spec.setup + SimDuration::from_secs(rem.div_ceil(u64::from(size.max(1))))
             }
             _ => {
-                let est_rem = self.est_remaining_work(j);
+                let est_rem = Self::est_remaining_work_of(spec, st);
                 let tau = if spec.kind == JobKind::Rigid {
-                    self.cfg.ckpt.interval(size)
+                    self.ckpt_tau(size)
                 } else {
                     None
                 };
@@ -312,14 +350,31 @@ impl<B: ClusterBackend> SimCore<B> {
         }
     }
 
+    /// [`CkptConfig::interval`] through the per-size memo (see
+    /// [`Self::tau_memo`]).
+    pub(super) fn ckpt_tau(&self, size: u32) -> Option<SimDuration> {
+        let mut memo = self.tau_memo.borrow_mut();
+        let i = size as usize;
+        if memo.len() <= i {
+            memo.resize(i + 1, None);
+        }
+        *memo[i].get_or_insert_with(|| self.cfg.ckpt.interval(size))
+    }
+
     /// Scheduler-estimated completion of a *running or draining* job.
     pub(super) fn expected_end(&self, j: JobId, now: SimTime) -> SimTime {
-        let st = self.st(j);
+        let (st, spec) = self.table.state_spec(j);
+        Self::expected_end_of(spec, st, now)
+    }
+
+    /// [`Self::expected_end`] on already-resolved state (the shadow
+    /// projection resolves each running job once for its status check and
+    /// reuses the refs here).
+    pub(super) fn expected_end_of(spec: &JobSpec, st: &JobState, now: SimTime) -> SimTime {
         if let Some(until) = st.drain_until {
             return until;
         }
         let run = st.run.as_ref().expect("expected_end of non-running job");
-        let spec = self.spec(j);
         match spec.kind {
             JobKind::Malleable => {
                 let est_total_ns = spec.estimate.as_secs() * u64::from(spec.size);
@@ -380,10 +435,7 @@ impl<B: ClusterBackend> SimCore<B> {
             }
         }
         let (tau, delta) = if spec.kind == JobKind::Rigid {
-            (
-                self.cfg.ckpt.interval(size),
-                self.cfg.ckpt.timeline_cost(size),
-            )
+            (self.ckpt_tau(size), self.cfg.ckpt.timeline_cost(size))
         } else {
             (None, self.cfg.ckpt.timeline_cost(size))
         };
@@ -507,7 +559,7 @@ impl<B: ClusterBackend> SimCore<B> {
                     self.rec.add_waste(size, setup_spent);
                 }
                 self.cluster.release(j);
-                self.queue.push(j);
+                self.enqueue_waiting(j);
             }
             _ => {
                 let st = self.st_mut(j);
@@ -527,8 +579,9 @@ impl<B: ClusterBackend> SimCore<B> {
                     self.rec.add_waste(size, waste);
                 }
                 self.cluster.release(j);
-                self.queue.push(j);
-                // A failed on-demand job re-enters at the queue front.
+                // A failed on-demand job re-enters at the queue front —
+                // `od_front` membership must be final before the enqueue
+                // so the job is indexed under the front class.
                 if spec.kind == JobKind::OnDemand {
                     self.od_front.insert(j);
                     self.insert_claim(Claim {
@@ -538,6 +591,7 @@ impl<B: ClusterBackend> SimCore<B> {
                         since: now,
                     });
                 }
+                self.enqueue_waiting(j);
             }
         }
     }

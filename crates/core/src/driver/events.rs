@@ -111,7 +111,7 @@ impl<B: ClusterBackend> Simulation for SimCore<B> {
                     self.on_od_arrival(j, now, q);
                 } else {
                     self.st_mut(j).status = Status::Waiting;
-                    self.queue.push(j);
+                    self.enqueue_waiting(j);
                     self.request_pass(now, q);
                 }
             }
@@ -219,6 +219,7 @@ impl<B: ClusterBackend> Simulation for SimCore<B> {
         if self.cfg.paranoid_checks {
             self.cluster.check_invariants().expect("cluster invariants");
             self.check_cap_running_invariant();
+            self.check_waitq_invariant();
             // Down capacity must never be visible to scheduling queries.
             let live = self.cluster.live_nodes();
             assert!(

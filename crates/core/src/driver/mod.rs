@@ -32,6 +32,7 @@ mod snapshot;
 mod tests;
 #[cfg(test)]
 mod tests_hooks;
+mod waitq;
 
 pub use self::core::SimCore;
 pub use events::Ev;

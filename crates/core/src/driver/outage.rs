@@ -379,7 +379,7 @@ impl<B: ClusterBackend> SimCore<B> {
             self.rec.add_waste(run.size, elapsed);
         }
         self.cluster.release(j);
-        self.queue.push(j);
+        self.enqueue_waiting(j);
     }
 
     /// The horizon has passed: any waiting job larger than the biggest
@@ -390,15 +390,16 @@ impl<B: ClusterBackend> SimCore<B> {
         let cap = self.cluster.live_max_job_size();
         let doomed: Vec<JobId> = self
             .queue
-            .iter()
-            .copied()
+            .ids()
             .filter(|&j| self.spec(j).size > cap)
             .collect();
         if doomed.is_empty() {
             return;
         }
         for j in doomed {
-            self.queue.retain(|&x| x != j);
+            // Unindex under the exact current key — before the od_front
+            // flip below would change the job's key class.
+            self.dequeue_waiting(j);
             self.od_front.remove(&j);
             self.remove_claim(j);
             self.squattable.remove(&j);

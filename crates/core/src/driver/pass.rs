@@ -2,11 +2,10 @@
 //! avoidance, EASY backfilling behind a blocked head, shadow computation,
 //! and backfill sizing.
 
-use super::core::SimCore;
+use super::core::{Scratch, SimCore};
 use super::events::Ev;
 use crate::backfill::{compute_shadow, may_backfill, Shadow};
 use crate::jobstate::Status;
-use crate::policy::queue_key;
 use hws_cluster::ClusterBackend;
 use hws_sim::{EventQueue, SimTime};
 use hws_workload::{JobId, JobKind};
@@ -16,31 +15,19 @@ impl<B: ClusterBackend> SimCore<B> {
         if self.queue.is_empty() {
             return;
         }
-        // Order the queue. Keys are computed once per job into a recycled
-        // scratch buffer — with the `od_front` membership probe in the key,
-        // a comparator-side computation would cost O(n log n) key
-        // evaluations per pass, and `sort_by_cached_key` would allocate its
-        // key cache on every pass. Keys carry a unique tiebreaker (the job
-        // id), so the unstable sort is deterministic.
-        let mut ordered = std::mem::take(&mut self.scratch.ordered);
+        // The waiting queue is maintained in priority order across events
+        // (see `super::waitq`), so ordering the pass is a straight copy of
+        // the index — no per-job key computation, no O(Q log Q) sort.
+        // Aging policies re-key the index at `now` first (same asymptotics
+        // as the historical per-pass re-sort; static policies skip it).
+        // The copy into recycled scratch keeps the exact stored keys, so a
+        // started job's entry is removed under precisely the key it was
+        // inserted with even though `start_job` flips its `od_front`
+        // membership afterwards.
+        self.refresh_queue_epoch(now);
         let mut keys = std::mem::take(&mut self.scratch.keys);
-        for &j in self.queue.iter() {
-            if self.st(j).status == Status::Waiting {
-                let key = queue_key(
-                    self.cfg.policy,
-                    self.spec(j),
-                    self.od_front.contains(&j),
-                    now,
-                );
-                keys.push((key, j));
-            }
-        }
-        keys.sort_unstable();
-        ordered.extend(keys.iter().map(|&(_, j)| j));
-        keys.clear();
-        self.scratch.keys = keys;
+        keys.extend(self.queue.iter());
 
-        let mut started = std::mem::take(&mut self.scratch.started);
         let mut head: Option<JobId> = None;
         let mut pos = 0;
         // Phase A: start jobs strictly in order while they fit. A job that
@@ -48,8 +35,8 @@ impl<B: ClusterBackend> SimCore<B> {
         // squatting on on-demand notice reservations (it becomes a
         // squatter, evicted when the holder arrives) — this keeps reserved
         // nodes busy, as §III-B1 intends.
-        while pos < ordered.len() {
-            let j = ordered[pos];
+        while pos < keys.len() {
+            let j = keys[pos].1;
             // Per-class admission: a throttled job blocks as the pass
             // head (reservations and EASY backfill proceed behind it),
             // exactly like a job the machine cannot fit yet. The default
@@ -78,11 +65,11 @@ impl<B: ClusterBackend> SimCore<B> {
             if fits {
                 let size = self.choose_start_size(j, usable);
                 if self.start_job(j, size, backfill, now, q) {
+                    self.queue.remove(keys[pos].0, j);
                     if self.spec(j).kind == JobKind::OnDemand {
                         self.od_front.remove(&j);
                         self.remove_claim(j);
                     }
-                    started.push(j);
                     pos += 1;
                     continue;
                 }
@@ -93,10 +80,14 @@ impl<B: ClusterBackend> SimCore<B> {
             // claims) — otherwise two waiting jobs can hoard the whole
             // machine with nothing running and no event pending. Notice-
             // phase reservations are exempt: they expire via their timeout.
-            if avail < need {
-                let lower: Vec<JobId> = ordered[pos + 1..]
+            // Cheap guard first: the machine-wide idle-reserved total
+            // bounds what any raid can recover, so when even taking all of
+            // it cannot seat the head the per-job reservation scan below
+            // would find nothing — skip it.
+            if avail < need && avail + self.cluster.total_reserved_idle() >= need {
+                let lower: Vec<JobId> = keys[pos + 1..]
                     .iter()
-                    .copied()
+                    .map(|&(_, w)| w)
                     .filter(|&w| self.cluster.reserved_idle_count(w) > 0)
                     .collect();
                 let raidable: u32 = lower
@@ -118,11 +109,11 @@ impl<B: ClusterBackend> SimCore<B> {
                     let usable = self.cluster.avail_for(j);
                     let size = self.choose_start_size(j, usable);
                     if self.start_job(j, size, false, now, q) {
+                        self.queue.remove(keys[pos].0, j);
                         if self.spec(j).kind == JobKind::OnDemand {
                             self.od_front.remove(&j);
                             self.remove_claim(j);
                         }
-                        started.push(j);
                         pos += 1;
                         continue;
                     }
@@ -132,38 +123,52 @@ impl<B: ClusterBackend> SimCore<B> {
             break;
         }
 
-        // Phase B: EASY backfill behind the blocked head.
+        // Phase B: EASY backfill behind the blocked head. No allocation
+        // path can hand out more than every free node plus every idle
+        // reserved node machine-wide, so that total bounds any candidate's
+        // usable count: when it is zero the shadow and the whole scan are
+        // skipped, and jobs needing more than it are skipped without the
+        // per-shard availability queries (`backfill_size` would refuse
+        // them anyway — `may_backfill` requires `size <= avail_now`).
         if let Some(head_id) = head {
-            if self.cfg.easy_backfill {
-                let shadow = self.head_shadow(head_id, now);
-                for &j in &ordered[pos + 1..] {
+            let usable_cap = self.cluster.free_count() + self.cluster.total_reserved_idle();
+            if self.cfg.easy_backfill && usable_cap > 0 {
+                // The shadow (an O(running · log running) projection) is
+                // computed lazily, at the first candidate surviving the
+                // cheap filters: every earlier iteration skipped without
+                // touching cluster state, so the projection is the same
+                // one an eager computation at loop entry would have built
+                // — most passes over a backlog of too-big jobs never pay
+                // for it at all.
+                let mut shadow = None;
+                for e in &keys[pos + 1..] {
+                    let j = e.1;
+                    if self.start_need(j) > usable_cap {
+                        continue;
+                    }
                     if self.hybrid() && !self.admission_ok(j, now) {
                         continue;
                     }
+                    let shadow = match shadow {
+                        Some(s) => s,
+                        None => *shadow.insert(self.head_shadow(head_id, now)),
+                    };
                     if let Some(size) = self.backfill_size(j, shadow, now) {
                         if self.start_job(j, size, true, now, q) {
+                            self.queue.remove(e.0, j);
                             if self.spec(j).kind == JobKind::OnDemand {
                                 self.od_front.remove(&j);
                                 self.remove_claim(j);
                             }
-                            started.push(j);
                         }
                     }
                 }
             }
         }
-        if !started.is_empty() {
-            // Every job this pass started left `Waiting`, and nothing else
-            // moves a queued job out of `Waiting` mid-pass, so a status
-            // retain drops exactly the started set — no per-pass hash set.
-            let mut queue = std::mem::take(&mut self.queue);
-            queue.retain(|&j| self.st(j).status == Status::Waiting);
-            self.queue = queue;
-        }
-        started.clear();
-        self.scratch.started = started;
-        ordered.clear();
-        self.scratch.ordered = ordered;
+        // Started entries were unindexed one by one above, so the index
+        // already holds exactly the still-waiting jobs — no per-pass
+        // status retain.
+        Scratch::stow(&mut self.scratch.keys, keys);
     }
 
     /// Consult the per-class admission hook for a waiting job (see
@@ -213,33 +218,36 @@ impl<B: ClusterBackend> SimCore<B> {
         // shard whose free count `avail_for` reports below — either way
         // the projection and the availability refer to the same shard.
         let head_shard = self.cluster.placement_shard(head);
-        self.cluster.for_each_running(&mut |v| {
-            if head_shard.is_some() && self.cluster.shard_of(v) != head_shard {
-                return;
-            }
-            let st = self.st(v);
-            if st.status != Status::Running && st.status != Status::Draining {
-                return;
-            }
-            // Only the plain portion returns to the free pool; squatted
-            // nodes go back to their on-demand holder.
-            let (plain, _) = self.cluster.split_of(v);
-            if plain > 0 {
-                releases.push((self.expected_end(v, now), plain));
-            }
-        });
+        // Only the plain portion returns to the free pool (squatted nodes
+        // go back to their on-demand holder), so the backend walks its
+        // split counters directly — one pass, no per-job queries. The
+        // shadow's heap selection absorbs the backend's unordered
+        // iteration.
+        self.cluster
+            .for_each_plain_split(head_shard, &mut |v, plain| {
+                let (st, spec) = self.table.state_spec(v);
+                if st.status != Status::Running && st.status != Status::Draining {
+                    return;
+                }
+                releases.push((SimCore::<B>::expected_end_of(spec, st, now), plain));
+            });
         let avail = self.cluster.avail_for(head);
         let shadow = compute_shadow(&mut releases, avail, self.start_need(head));
-        releases.clear();
-        self.scratch.releases = releases;
+        Scratch::stow(&mut self.scratch.releases, releases);
         shadow
     }
 
     /// Pick a backfill size for `j` under `shadow`, or None when no size
     /// qualifies.
     pub(super) fn backfill_size(&self, j: JobId, shadow: Shadow, now: SimTime) -> Option<u32> {
-        let spec = self.spec(j);
-        let own = self.cluster.reserved_idle_count(j);
+        let (st, spec) = self.table.state_spec(j);
+        // With zero idle reserved nodes machine-wide no job holds any, so
+        // the per-holder lookup is skipped on the common path.
+        let own = if self.cluster.total_reserved_idle() == 0 {
+            0
+        } else {
+            self.cluster.reserved_idle_count(j)
+        };
         // Availability must match start_job's allocation paths: a job with
         // a private reservation draws from free + own; otherwise it may
         // squat on notice-phase reservations.
@@ -256,7 +264,7 @@ impl<B: ClusterBackend> SimCore<B> {
             }
             // Largest size finishing before the shadow…
             let n1 = avail.min(spec.size);
-            if may_backfill(n1, now + self.est_wall(j, n1), avail, shadow) {
+            if may_backfill(n1, now + self.est_wall_of(spec, st, n1), avail, shadow) {
                 return Some(n1);
             }
             // …or a smaller size fitting in the shadow's spare nodes.
@@ -267,7 +275,8 @@ impl<B: ClusterBackend> SimCore<B> {
             None
         } else {
             let size = spec.size;
-            may_backfill(size, now + self.est_wall(j, size), avail, shadow).then_some(size)
+            may_backfill(size, now + self.est_wall_of(spec, st, size), avail, shadow)
+                .then_some(size)
         }
     }
 }

@@ -88,8 +88,9 @@ impl<B: ClusterBackend> SimCore<B> {
                 }
                 self.cluster.release(j);
                 // Resubmission keeps the original submit time (§III-B2) —
-                // the queue key is derived from the spec, so nothing to do.
-                self.queue.push(j);
+                // the queue key is derived from the spec, so the job simply
+                // re-enters the index under its original priority.
+                self.enqueue_waiting(j);
                 size
             }
         }
@@ -110,7 +111,7 @@ impl<B: ClusterBackend> SimCore<B> {
         self.add_occ(j, size, warning);
         self.rec.add_waste(size, warning);
         self.cluster.release(j);
-        self.queue.push(j);
+        self.enqueue_waiting(j);
     }
 
     /// Grow a running malleable job by up to `k` nodes.

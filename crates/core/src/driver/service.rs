@@ -356,7 +356,8 @@ where
                 CancelOutcome::Cancelled
             }
             Some(Status::Waiting) => {
-                sim.queue.retain(|&j| j != id);
+                // Unindex before the od_front flip changes the key class.
+                sim.dequeue_waiting(id);
                 sim.od_front.remove(&id);
                 if let Some(ev) = sim.timeout_ev.remove(&id) {
                     queue.cancel(ev);

@@ -36,8 +36,13 @@ use std::collections::{BTreeSet, HashMap};
 
 /// Format version; bump on any layout change. Version 2 added the outage
 /// engine: the `Ev::Outage` tag and the outage-state section between the
-/// shard accumulators and the recorder.
-const SNAP_VERSION: u8 = 2;
+/// shard accumulators and the recorder. Version 3 switched the waiting
+/// queue to the maintained ordered index (`driver::waitq`): the section
+/// now stores the waiting ids in priority order followed by the key
+/// epoch, and restore *rebuilds* the index by recomputing every key from
+/// the restored specs, `od_front`, and that epoch — a byte fixed point,
+/// because recomputed keys reproduce the recorded order exactly.
+const SNAP_VERSION: u8 = 3;
 
 // ---------------------------------------------------------------------
 // Event codec.
@@ -193,7 +198,6 @@ pub(super) fn snapshot_engine<B: SnapshotBackend>(engine: &Engine<SimCore<B>>) -
         core.scratch.ordered.is_empty()
             && core.scratch.keys.is_empty()
             && core.scratch.releases.is_empty()
-            && core.scratch.started.is_empty()
             && core.scratch.victim_ids.is_empty()
             && core.scratch.candidates.is_empty(),
         "snapshot taken mid-dispatch (scratch buffers in use)"
@@ -220,10 +224,14 @@ pub(super) fn snapshot_engine<B: SnapshotBackend>(engine: &Engine<SimCore<B>>) -
     core.table.encode_snap(&mut w);
     core.cluster.snapshot(&mut w);
 
+    // Waiting ids in index (priority) order, then the key epoch. The keys
+    // themselves are derivable — restore recomputes them — so only the
+    // membership and the epoch go into the stream.
     w.put_len(core.queue.len());
-    for j in &core.queue {
+    for &(_, j) in core.queue.iter() {
         w.put_u64(j.0);
     }
+    w.put_u64(core.queue.epoch().as_secs());
     put_id_set(&mut w, &core.od_front);
     w.put_len(core.claims.len());
     for c in &core.claims {
@@ -371,11 +379,13 @@ pub(super) fn restore_engine<B: SnapshotBackend>(
     let table = crate::jobtable::JobTable::decode_snap(&mut r)?;
     let cluster = B::restore(&mut r, ctx)?;
 
+    let wait_pos = r.pos();
     let n_queue = r.get_len()?;
-    let mut wait_queue = Vec::with_capacity(n_queue);
+    let mut wait_ids = Vec::with_capacity(n_queue);
     for _ in 0..n_queue {
-        wait_queue.push(JobId(r.get_u64()?));
+        wait_ids.push(JobId(r.get_u64()?));
     }
+    let wait_epoch = SimTime::from_secs(r.get_u64()?);
     let od_front = get_id_set(&mut r)?;
     let n_claims = r.get_len()?;
     let mut claims = Vec::with_capacity(n_claims);
@@ -504,12 +514,12 @@ pub(super) fn restore_engine<B: SnapshotBackend>(
     }
     r.expect_end()?;
 
-    let core = SimCore {
+    let mut core = SimCore {
         hooks: hooks_for(cfg),
         cfg: cfg.clone(),
         table,
         cluster,
-        queue: wait_queue,
+        queue: super::waitq::WaitQueue::new(),
         od_front,
         claims,
         leases,
@@ -520,6 +530,7 @@ pub(super) fn restore_engine<B: SnapshotBackend>(
         pass_pending,
         cap_running,
         scratch: Scratch::default(),
+        tau_memo: std::cell::RefCell::new(Vec::new()),
         shard_occ,
         shard_starts,
         track_shards,
@@ -527,5 +538,31 @@ pub(super) fn restore_engine<B: SnapshotBackend>(
         rec,
         timeline,
     };
+    // Rebuild the waiting-queue index: recompute each key from the
+    // restored spec, od_front membership, and the recorded epoch. Every
+    // collection the keys derive from is restored above, so the rebuilt
+    // order reproduces the recorded one — re-snapshotting is a byte fixed
+    // point. Validation (not trusting the stream): every id must name a
+    // live job in `Waiting` status, exactly once.
+    core.queue.set_epoch(wait_epoch);
+    for j in wait_ids {
+        if core
+            .table
+            .get_state(j)
+            .is_none_or(|st| st.status != crate::jobstate::Status::Waiting)
+        {
+            return Err(SnapError::new(
+                wait_pos,
+                format!("waiting queue lists {j}, which is not a live waiting job"),
+            ));
+        }
+        let key = core.wait_key(j);
+        if !core.queue.insert(key, j) {
+            return Err(SnapError::new(
+                wait_pos,
+                format!("waiting queue lists {j} twice"),
+            ));
+        }
+    }
     Ok(Engine::from_parts(core, equeue, now, delivered))
 }

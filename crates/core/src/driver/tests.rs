@@ -521,3 +521,69 @@ fn kill_fires_when_work_exceeds_estimate() {
     assert_eq!(out.metrics.killed_jobs, 1);
     assert_eq!(out.metrics.completed_jobs, 0);
 }
+
+use super::core::{Scratch, SCRATCH_RETAIN};
+
+#[test]
+fn scratch_stow_caps_retained_capacity() {
+    // Ordinary buffers are recycled with their capacity intact…
+    let mut slot: Vec<u64> = Vec::new();
+    Scratch::stow(&mut slot, Vec::with_capacity(64));
+    assert!(slot.capacity() >= 64, "small buffer capacity not recycled");
+    // …but an oversized buffer is trimmed on the way back: a one-off
+    // queue spike must not pin its high-water allocation forever.
+    let mut huge: Vec<u64> = Vec::with_capacity(10 * SCRATCH_RETAIN);
+    huge.extend(0..(10 * SCRATCH_RETAIN) as u64);
+    Scratch::stow(&mut slot, huge);
+    assert!(slot.is_empty(), "stowed buffer not cleared");
+    assert!(
+        slot.capacity() <= SCRATCH_RETAIN,
+        "oversized scratch kept {} entries of capacity",
+        slot.capacity()
+    );
+}
+
+#[test]
+fn scratch_capacity_released_after_queue_spike() {
+    // A simultaneous-arrival spike 3× the retention cap: the first pass
+    // copies thousands of queue keys into scratch, every later pass only
+    // a shrinking tail. After the run the pass scratch must have dropped
+    // back to the cap — the spike's allocation is not carried through the
+    // rest of a long replay.
+    const SPIKE: usize = 3 * SCRATCH_RETAIN;
+    let jobs: Vec<JobSpec> = (0..SPIKE as u64)
+        .map(|i| {
+            JobSpecBuilder::rigid(i)
+                .size(4)
+                .work(d(600))
+                .estimate(d(1_200))
+                .build()
+        })
+        .collect();
+    let tr = trace(64, jobs);
+    let mut cfg = SimConfig::with_mechanism(Mechanism::N_PAA);
+    cfg.measure_decisions = false;
+    let mut engine = Engine::new(SimCore::new(cfg, tr.system_size));
+    for spec in tr.jobs.iter().cloned() {
+        engine
+            .queue
+            .schedule_arrival(spec.submit, Ev::Submit(spec.id));
+        engine.sim.admit(spec);
+    }
+    while engine.step() {}
+    let core = engine.into_sim();
+    let metrics = Metrics::compute(&core.rec, core.cfg.instant_threshold);
+    assert_eq!(
+        metrics.completed_jobs, SPIKE,
+        "spike trace did not complete"
+    );
+    assert!(
+        core.scratch.keys.capacity() <= SCRATCH_RETAIN,
+        "pass scratch still holds spike capacity ({} keys)",
+        core.scratch.keys.capacity()
+    );
+    assert!(
+        core.scratch.keys.capacity() > 0,
+        "scratch was not recycled at all"
+    );
+}

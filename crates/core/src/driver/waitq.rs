@@ -1,0 +1,197 @@
+//! The incrementally maintained ordered waiting queue.
+//!
+//! Historically every scheduling pass re-sorted the waiting set from
+//! scratch — O(Q log Q) key computations and comparisons *per event* once
+//! passes coalesce to one per tick. [`WaitQueue`] keeps the waiting jobs
+//! in a `BTreeSet<(QueueKey, JobId)>` that is updated only on the
+//! priority-relevant transitions:
+//!
+//! * **submit / resubmit** (failure, preemption, drain expiry, outage
+//!   interrupt) — insert;
+//! * **start / cancel / infeasibility sweep** — remove;
+//! * **`od_front` membership flips** — an arrived on-demand job changes
+//!   key *class*, so membership must be final before the insert and the
+//!   entry must be removed before the flip (both orderings are enforced at
+//!   the call sites; the paranoid oracle below catches violations).
+//!
+//! ## Key epochs (time-varying policies)
+//!
+//! Static policies ([`PolicyKind::is_time_varying`] = false: FCFS, SJF,
+//! LJF) have keys that never go stale, so the index order is the pass
+//! order for free. Aging policies (WFP3) score by waiting time: their keys
+//! are stamped with the *epoch* — the instant the score was evaluated —
+//! and [`SimCore::refresh_queue_epoch`] re-keys the whole index at `now`
+//! before a pass reads it. Between passes the stale epoch is harmless:
+//! inserts and removes both compute keys at the *stored* epoch, so every
+//! entry is found under exactly the key it was inserted with.
+//!
+//! ## Invariant
+//!
+//! The index holds exactly the live jobs with [`Status::Waiting`], each
+//! under `queue_key(policy, spec, od_front ∋ j, epoch)`. Under
+//! `paranoid_checks` this is cross-validated after every event against a
+//! from-scratch re-sort oracle ([`SimCore::check_waitq_invariant`]).
+
+use super::core::{Scratch, SimCore};
+use crate::jobstate::Status;
+use crate::policy::{queue_key, QueueKey};
+use hws_cluster::ClusterBackend;
+use hws_sim::SimTime;
+use hws_workload::JobId;
+use std::collections::BTreeSet;
+
+/// Ordered index over the waiting jobs; see the module docs.
+#[derive(Debug)]
+pub(super) struct WaitQueue {
+    index: BTreeSet<(QueueKey, JobId)>,
+    /// Instant the time-varying score components were evaluated at.
+    /// Meaningless (and never advanced) for static policies. The policy
+    /// itself lives in `SimConfig`; every key is computed there.
+    epoch: SimTime,
+}
+
+impl WaitQueue {
+    pub(super) fn new() -> Self {
+        WaitQueue {
+            index: BTreeSet::new(),
+            epoch: SimTime::ZERO,
+        }
+    }
+
+    #[inline]
+    pub(super) fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    #[inline]
+    pub(super) fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Entries in priority order (the pass order).
+    #[inline]
+    pub(super) fn iter(&self) -> impl Iterator<Item = &(QueueKey, JobId)> {
+        self.index.iter()
+    }
+
+    /// Waiting job ids in priority order.
+    #[inline]
+    pub(super) fn ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.index.iter().map(|&(_, j)| j)
+    }
+
+    /// The instant the current keys were evaluated at.
+    #[inline]
+    pub(super) fn epoch(&self) -> SimTime {
+        self.epoch
+    }
+
+    /// Restore-path epoch injection (see `driver::snapshot`).
+    pub(super) fn set_epoch(&mut self, epoch: SimTime) {
+        self.epoch = epoch;
+    }
+
+    /// Insert an entry; returns false if it was already present (callers
+    /// treat that as corruption — see [`SimCore::enqueue_waiting`]).
+    #[inline]
+    pub(super) fn insert(&mut self, key: QueueKey, j: JobId) -> bool {
+        self.index.insert((key, j))
+    }
+
+    /// Remove the entry `(key, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is absent: the caller computed a key that does
+    /// not match what the job was inserted under, which would silently
+    /// leave a stale entry behind — corruption, not a recoverable state.
+    #[inline]
+    pub(super) fn remove(&mut self, key: QueueKey, j: JobId) {
+        assert!(
+            self.index.remove(&(key, j)),
+            "waiting-queue index out of sync: {j} not found under its computed key"
+        );
+    }
+
+    /// Drop all entries (epoch rebuild; the caller re-inserts).
+    fn clear(&mut self) {
+        self.index.clear();
+    }
+}
+
+impl<B: ClusterBackend> SimCore<B> {
+    /// The key waiting job `j` is (or would be) indexed under *right now*:
+    /// current `od_front` membership, current epoch. Every insert and
+    /// remove goes through this, so entries are always found.
+    #[inline]
+    pub(super) fn wait_key(&self, j: JobId) -> QueueKey {
+        queue_key(
+            self.cfg.policy,
+            self.spec(j),
+            self.od_front.contains(&j),
+            self.queue.epoch(),
+        )
+    }
+
+    /// Index a job that just became [`Status::Waiting`]. `od_front`
+    /// membership must already be final for this job.
+    pub(super) fn enqueue_waiting(&mut self, j: JobId) {
+        debug_assert_eq!(self.st(j).status, Status::Waiting);
+        let key = self.wait_key(j);
+        let fresh = self.queue.insert(key, j);
+        debug_assert!(fresh, "{j} enqueued twice");
+    }
+
+    /// Unindex a waiting job (cancel, infeasibility sweep). Must run
+    /// *before* its `od_front` membership or status changes.
+    pub(super) fn dequeue_waiting(&mut self, j: JobId) {
+        let key = self.wait_key(j);
+        self.queue.remove(key, j);
+    }
+
+    /// Re-key the index at `now` for aging policies; a no-op for static
+    /// policies and when the epoch is already current. Same O(Q log Q)
+    /// asymptotics as the historical per-pass re-sort — aging scores
+    /// genuinely change with every tick, so there is nothing incremental
+    /// to exploit — but only aging policies pay it.
+    pub(super) fn refresh_queue_epoch(&mut self, now: SimTime) {
+        if !self.cfg.policy.is_time_varying() || self.queue.epoch() == now {
+            return;
+        }
+        let mut ids = std::mem::take(&mut self.scratch.ordered);
+        ids.extend(self.queue.ids());
+        self.queue.clear();
+        self.queue.set_epoch(now);
+        for &j in &ids {
+            let key = self.wait_key(j);
+            self.queue.insert(key, j);
+        }
+        Scratch::stow(&mut self.scratch.ordered, ids);
+    }
+
+    /// Paranoid cross-check: the maintained index must equal a
+    /// from-scratch full re-sort of the live waiting jobs — the historical
+    /// implementation, kept as the oracle the incremental structure is
+    /// proptested against.
+    pub(super) fn check_waitq_invariant(&self) {
+        let mut oracle: Vec<(QueueKey, JobId)> = Vec::new();
+        self.table.for_each_live(|spec, st| {
+            if st.status == Status::Waiting {
+                let key = queue_key(
+                    self.cfg.policy,
+                    spec,
+                    self.od_front.contains(&spec.id),
+                    self.queue.epoch(),
+                );
+                oracle.push((key, spec.id));
+            }
+        });
+        oracle.sort_unstable();
+        assert!(
+            self.queue.iter().eq(oracle.iter()),
+            "waiting-queue index drifted from the re-sort oracle:\n  index:  {:?}\n  oracle: {:?}",
+            self.queue.iter().collect::<Vec<_>>(),
+            oracle
+        );
+    }
+}

@@ -244,6 +244,17 @@ impl JobTable {
         &self.specs[slot as usize]
     }
 
+    /// State and spec of a live job in a single index probe — the
+    /// scheduler's per-candidate paths pay one lookup instead of two.
+    #[inline]
+    pub fn state_spec(&self, id: JobId) -> (&JobState, &JobSpec) {
+        let slot = self
+            .index
+            .get(id.0)
+            .unwrap_or_else(|| panic!("{id} is not live")) as usize;
+        (&self.states[slot], &self.specs[slot])
+    }
+
     #[inline]
     pub fn state(&self, id: JobId) -> &JobState {
         let slot = self

@@ -37,6 +37,15 @@ impl PolicyKind {
             PolicyKind::Wfp3 => "WFP3",
         }
     }
+
+    /// Whether the policy's score depends on the evaluation instant (an
+    /// *aging* policy). Static policies (`false`) produce keys that stay
+    /// valid for as long as a job waits, so the driver's maintained queue
+    /// index never re-keys them; aging policies are re-keyed once per
+    /// scheduling pass (see the key-epoch handling in `driver`).
+    pub fn is_time_varying(self) -> bool {
+        matches!(self, PolicyKind::Wfp3)
+    }
 }
 
 impl std::fmt::Display for PolicyKind {
@@ -74,18 +83,47 @@ impl PartialOrd for QueueKey {
     }
 }
 
-/// Compute a job's queue key under `policy`. `od_front` marks arrived
-/// on-demand jobs awaiting resources.
-pub fn queue_key(policy: PolicyKind, spec: &JobSpec, od_front: bool, now: SimTime) -> QueueKey {
-    let score = match policy {
+/// Static score component: policies whose priority never changes while a
+/// job waits. Computed once at enqueue time; valid at any later instant.
+///
+/// # Panics
+///
+/// Debug-asserts that `policy` is not time-varying — aging scores must go
+/// through [`aging_score`] with an explicit evaluation instant.
+pub fn static_score(policy: PolicyKind, spec: &JobSpec) -> f64 {
+    debug_assert!(!policy.is_time_varying());
+    match policy {
         PolicyKind::Fcfs => spec.submit.as_secs() as f64,
         PolicyKind::Sjf => spec.estimate.as_secs() as f64,
         PolicyKind::Ljf => -(spec.size as f64),
+        PolicyKind::Wfp3 => unreachable!("WFP3 is time-varying"),
+    }
+}
+
+/// Time-varying score component of an aging policy, evaluated at `now`.
+/// A `now` earlier than the submit time (a stale key epoch) saturates the
+/// wait to zero — harmless, because the index is re-keyed at the current
+/// instant before any scheduling pass reads it.
+pub fn aging_score(policy: PolicyKind, spec: &JobSpec, now: SimTime) -> f64 {
+    debug_assert!(policy.is_time_varying());
+    match policy {
         PolicyKind::Wfp3 => {
             let wait = now.since(spec.submit).as_secs() as f64;
             let est = spec.estimate.as_secs().max(1) as f64;
             -((wait / est).powi(3) * spec.size as f64)
         }
+        _ => unreachable!("{policy} is static"),
+    }
+}
+
+/// Compute a job's queue key under `policy`. `od_front` marks arrived
+/// on-demand jobs awaiting resources. For static policies `now` is
+/// ignored; for aging policies it is the key's epoch.
+pub fn queue_key(policy: PolicyKind, spec: &JobSpec, od_front: bool, now: SimTime) -> QueueKey {
+    let score = if policy.is_time_varying() {
+        aging_score(policy, spec, now)
+    } else {
+        static_score(policy, spec)
     };
     QueueKey {
         class: if od_front { 0 } else { 1 },

@@ -168,19 +168,46 @@ struct RawJob {
     project: u32,
 }
 
-fn parse_fields(line: &str, ln: usize, min: usize) -> Result<Vec<&str>, SwfError> {
-    let f: Vec<&str> = line.split_whitespace().collect();
-    if f.len() < min {
+/// The SWF format defines exactly 18 fields and no parser here looks past
+/// them, so splitting stops there and lands in a stack array — no per-line
+/// heap allocation on the streaming-replay hot path.
+const MAX_FIELDS: usize = 18;
+
+fn parse_fields(line: &str, ln: usize, min: usize) -> Result<[&str; MAX_FIELDS], SwfError> {
+    debug_assert!(min <= MAX_FIELDS);
+    let mut f = [""; MAX_FIELDS];
+    let mut n = 0;
+    for w in line.split_whitespace() {
+        if n == MAX_FIELDS {
+            break;
+        }
+        f[n] = w;
+        n += 1;
+    }
+    if n < min {
         return Err(SwfError {
             line: ln,
-            message: format!("expected ≥{min} fields, got {}", f.len()),
+            message: format!("expected ≥{min} fields, got {n}"),
         });
     }
     Ok(f)
 }
 
 fn field_num(f: &[&str], i: usize, ln: usize, what: &str) -> Result<i64, SwfError> {
-    f[i].parse::<f64>().map(|v| v as i64).map_err(|e| SwfError {
+    let s = f[i];
+    // Integer fast path: SWF fields are overwhelmingly plain integers, and
+    // below 2^53 in magnitude the historical `parse::<f64>() as i64`
+    // round-trip is exact — both paths yield the same value bit-for-bit
+    // (15 decimal digits < 2^53). Fractional, huge, `+`-signed, or
+    // malformed fields fall through to the float path, including its
+    // error text.
+    let digits = s.strip_prefix('-').unwrap_or(s);
+    if !digits.is_empty() && digits.len() <= 15 && digits.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(v) = s.parse::<i64>() {
+            return Ok(v);
+        }
+    }
+    s.parse::<f64>().map(|v| v as i64).map_err(|e| SwfError {
         line: ln,
         message: format!("{what}: {e}"),
     })
