@@ -3,8 +3,8 @@
 //! loudly (with the regeneration recipe) on any drift.
 //!
 //! The CI `baseline-parity` job re-runs `swf_replay`, `throughput`,
-//! `federated`, `capability`, `service_replay`, and `outage_replay` at
-//! quick scale with the baseline seed count, pointing their
+//! `federated`, `capability`, `service_replay`, `outage_replay`, and
+//! `policy_search` at quick scale with the baseline seed count, pointing their
 //! `HWS_*_JSON` overrides at a scratch directory, then invokes this binary
 //! with that directory:
 //!
@@ -18,10 +18,12 @@
 //! Comparison rules per file:
 //!
 //! * `BENCH_swf_replay.json`, `BENCH_federated.json`,
-//!   `BENCH_capability.json`, `BENCH_outages.json` — byte-for-byte: every
-//!   recorded field is a deterministic simulation output (outage injection
-//!   rides the event queue, so lost node-hours and recovery latencies are
-//!   as reproducible as turnaround times).
+//!   `BENCH_capability.json`, `BENCH_outages.json`,
+//!   `BENCH_policy_search.json` — byte-for-byte: every recorded field is
+//!   a deterministic simulation output (outage injection rides the event
+//!   queue, and the policy-search leaderboard folds seeded rewards in
+//!   index order, so ranks and fingerprints are as reproducible as
+//!   turnaround times).
 //! * `BENCH_simulator_throughput.json` — field-wise on the deterministic
 //!   columns (`source`, `mechanism`, `jobs`, `seeds`,
 //!   `metrics_fingerprint`, `avg_turnaround_h`, `utilization`); the
@@ -115,6 +117,7 @@ fn main() {
         "BENCH_federated.json",
         "BENCH_capability.json",
         "BENCH_outages.json",
+        "BENCH_policy_search.json",
     ] {
         if let Err(e) = compare_bytes(&root.join(file), &regen_dir.join(file)) {
             failures.push((file, e));
@@ -158,6 +161,7 @@ fn main() {
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin capability\n\
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin service_replay\n\
          \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin outage_replay\n\
+         \tHWS_SCALE=quick HWS_SEEDS=10 cargo run --release -p hws-bench --bin policy_search\n\
          \tHWS_SCALE=full HWS_SEEDS=2 cargo run --release -p hws-bench --bin archive_replay\n\
          \n\
          (each binary rewrites its BENCH_*.json at the workspace root), and explain the\n\

@@ -97,6 +97,14 @@ pub trait ClusterBackend: std::fmt::Debug + Send {
     /// Plain free nodes across all shards.
     fn free_count(&self) -> u32;
 
+    /// Plain free nodes on shard `i` (the machine-wide count for a
+    /// single cluster). Observation-side accounting only — allocation
+    /// paths go through the per-job availability queries below.
+    fn shard_free_nodes(&self, i: usize) -> u32 {
+        assert_eq!(i, 0, "single cluster has exactly one shard");
+        self.free_count()
+    }
+
     /// Idle nodes reserved for `holder` (shard-local by construction).
     fn reserved_idle_count(&self, holder: JobId) -> u32;
 

@@ -622,6 +622,10 @@ impl ClusterBackend for Federation {
         self.shards[i].live_nodes()
     }
 
+    fn shard_free_nodes(&self, i: usize) -> u32 {
+        self.shards[i].free_count()
+    }
+
     fn live_max_job_size(&self) -> u32 {
         self.shards
             .iter()

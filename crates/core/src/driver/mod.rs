@@ -21,6 +21,7 @@
 
 mod alloc;
 mod core;
+pub mod environment;
 mod events;
 pub mod hooks;
 mod outage;
@@ -35,6 +36,10 @@ mod tests_hooks;
 mod waitq;
 
 pub use self::core::SimCore;
+pub use environment::{
+    apply_knobs, config_for_knobs, Action, EnvSpec, Environment, EpisodeReport, Observation,
+    TunableHooks,
+};
 pub use events::Ev;
 pub use hooks::{
     standard_composition, AdmissionView, ArrivalPlan, ArrivalPolicy, ArrivalView, CapabilityAware,
@@ -50,8 +55,6 @@ use hws_cluster::{Cluster, ClusterBackend, Federation};
 use hws_metrics::{ClassBreakdown, Metrics, OutageReport, Recorder, ShardStat};
 use hws_sim::{Engine, EngineStats};
 use hws_workload::{JobSource, MaterializedSource, Trace, TraceConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Result of one simulation run.
 #[derive(Debug, Clone)]
@@ -226,34 +229,9 @@ impl Simulator {
     where
         F: Fn(u64) -> Trace + Sync,
     {
-        if seeds.is_empty() {
-            return Vec::new();
-        }
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(seeds.len());
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<SimOutcome>>> =
-            seeds.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&seed) = seeds.get(i) else { break };
-                    let trace = make_trace(seed);
-                    let outcome = Simulator::run_trace(cfg, &trace);
-                    *slots[i].lock().expect("sweep slot") = Some(outcome);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("sweep slot")
-                    .expect("worker filled every slot")
-            })
-            .collect()
+        hws_sim::par_map(seeds.len(), |i| {
+            let trace = make_trace(seeds[i]);
+            Simulator::run_trace(cfg, &trace)
+        })
     }
 }

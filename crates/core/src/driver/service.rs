@@ -241,6 +241,19 @@ where
         &self.engine.sim.cfg
     }
 
+    /// Driver-internal mutable view of the simulation core: the
+    /// `Environment` facade samples observations and applies knob
+    /// changes through it.
+    pub(super) fn core_mut(&mut self) -> &mut SimCore<B> {
+        &mut self.engine.sim
+    }
+
+    /// Whether any event is still pending in the engine queue (`&mut`:
+    /// the queue compacts cancelled entries lazily on inspection).
+    pub(super) fn events_pending(&mut self) -> bool {
+        self.engine.queue.peek_time().is_some()
+    }
+
     /// Hand a new job to the service. The scheduler sees it when virtual
     /// time reaches its earliest event (advance notice if it carries one,
     /// submission otherwise).

@@ -46,11 +46,12 @@ pub use config::{
     ArrivalStrategy, Mechanism, NoticeStrategy, ShrinkStrategy, SimConfig, VictimOrder,
 };
 pub use driver::{
-    replay_submission_log, standard_composition, AdmissionView, ArrivalPlan, ArrivalPolicy,
-    ArrivalView, CancelOutcome, CapabilityAware, CollectUntilArrival, CollectUntilPredicted,
-    Composed, HooksHandle, IgnoreNotices, JobStatus, MechanismHooks, NoticeDecision, NoticePolicy,
-    NoticeView, PredictionView, PreemptAtArrival, SchedulerService, ShrinkThenPreempt, SimOutcome,
-    Simulator, SubmitError,
+    apply_knobs, config_for_knobs, replay_submission_log, standard_composition, Action,
+    AdmissionView, ArrivalPlan, ArrivalPolicy, ArrivalView, CancelOutcome, CapabilityAware,
+    CollectUntilArrival, CollectUntilPredicted, Composed, EnvSpec, Environment, EpisodeReport,
+    HooksHandle, IgnoreNotices, JobStatus, MechanismHooks, NoticeDecision, NoticePolicy,
+    NoticeView, Observation, PredictionView, PreemptAtArrival, SchedulerService, ShrinkThenPreempt,
+    SimOutcome, Simulator, SubmitError, TunableHooks,
 };
 pub use failure::FailureConfig;
 pub use jobtable::JobTable;

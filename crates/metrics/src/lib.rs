@@ -20,6 +20,7 @@
 pub mod classes;
 pub mod outage;
 pub mod record;
+pub mod reward;
 pub mod shard;
 pub mod summary;
 pub mod table;
@@ -27,6 +28,7 @@ pub mod table;
 pub use classes::{ClassAcc, ClassBreakdown, ClassStats};
 pub use outage::OutageReport;
 pub use record::{JobRecord, Recorder};
+pub use reward::{RewardKind, RewardSpec};
 pub use shard::{ShardStat, ShardTotals};
 pub use summary::{KindStats, Metrics, MetricsAcc, MetricsAvg};
 pub use table::Table;

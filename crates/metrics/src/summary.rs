@@ -15,7 +15,7 @@ pub struct KindStats {
 }
 
 /// One simulation run's evaluation report (§IV-D).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Mean turnaround over all completed jobs, hours.
     pub avg_turnaround_h: f64,

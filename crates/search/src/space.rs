@@ -1,0 +1,185 @@
+//! Candidates and the enumerable search space.
+
+use hws_core::{config_for_knobs, Mechanism, SimConfig};
+use hws_workload::{BackfillLevel, KnobVector, PlacementChoice};
+
+/// One point the tuners evaluate: a mechanism plus a knob vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    pub mechanism: Mechanism,
+    pub knobs: KnobVector,
+}
+
+impl Candidate {
+    /// Human/leaderboard label, e.g.
+    /// `CUA&SPAA admit=1 backfill=keep ckpt=1.0 placement=keep`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.mechanism.name(), self.knobs.to_text())
+    }
+
+    /// Materialise this candidate over `base` — see
+    /// [`hws_core::config_for_knobs`] for the exact semantics (an
+    /// unthrottled candidate carries no hook wrapper and is bitwise
+    /// equivalent to plain `base.with_mechanism(..)`).
+    pub fn to_config(&self, base: &SimConfig) -> Result<SimConfig, String> {
+        config_for_knobs(base, self.mechanism, &self.knobs)
+    }
+}
+
+/// A cartesian grid over the knob axes. [`SearchSpace::enumerate`]
+/// yields candidates in a fixed nesting order (mechanisms outermost,
+/// placements innermost), which is the candidate index order every
+/// deterministic fold below relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    pub mechanisms: Vec<Mechanism>,
+    pub throttles: Vec<Option<u32>>,
+    pub backfills: Vec<Option<BackfillLevel>>,
+    pub ckpt_mults: Vec<f64>,
+    pub placements: Vec<Option<PlacementChoice>>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace::mechanisms_only()
+    }
+}
+
+impl SearchSpace {
+    /// The paper's comparison as a degenerate grid: the six mechanisms
+    /// at the identity knob point.
+    pub fn mechanisms_only() -> Self {
+        SearchSpace {
+            mechanisms: Mechanism::ALL_SIX.to_vec(),
+            throttles: vec![None],
+            backfills: vec![None],
+            ckpt_mults: vec![1.0],
+            placements: vec![None],
+        }
+    }
+
+    /// Number of candidates the grid enumerates.
+    pub fn len(&self) -> usize {
+        self.mechanisms.len()
+            * self.throttles.len()
+            * self.backfills.len()
+            * self.ckpt_mults.len()
+            * self.placements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reject empty axes, `Custom` mechanisms (no built-in composition
+    /// to materialise), and invalid knob coordinates.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.is_empty() {
+            return Err("search space has an empty axis".into());
+        }
+        if self.mechanisms.contains(&Mechanism::Custom) {
+            return Err("search space cannot contain Mechanism::Custom".into());
+        }
+        for &m in &self.ckpt_mults {
+            KnobVector {
+                ckpt_mult: m,
+                ..KnobVector::identity()
+            }
+            .validate()?;
+        }
+        Ok(())
+    }
+
+    /// All candidates, in the fixed nesting order.
+    pub fn enumerate(&self) -> Vec<Candidate> {
+        let mut out = Vec::with_capacity(self.len());
+        for &mechanism in &self.mechanisms {
+            for &admit_throttle in &self.throttles {
+                for &backfill in &self.backfills {
+                    for &ckpt_mult in &self.ckpt_mults {
+                        for &placement in &self.placements {
+                            out.push(Candidate {
+                                mechanism,
+                                knobs: KnobVector {
+                                    admit_throttle,
+                                    backfill,
+                                    ckpt_mult,
+                                    placement,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_is_the_six_mechanisms() {
+        let space = SearchSpace::default();
+        assert_eq!(space.len(), 6);
+        let cands = space.enumerate();
+        assert_eq!(cands.len(), 6);
+        assert!(cands.iter().all(|c| c.knobs.is_identity()));
+        assert!(space.validate().is_ok());
+    }
+
+    #[test]
+    fn enumerate_order_is_stable_and_exhaustive() {
+        let space = SearchSpace {
+            mechanisms: vec![Mechanism::N_PAA, Mechanism::CUA_SPAA],
+            throttles: vec![None, Some(1)],
+            backfills: vec![None],
+            ckpt_mults: vec![1.0, 2.0],
+            placements: vec![None],
+        };
+        let cands = space.enumerate();
+        assert_eq!(cands.len(), space.len());
+        assert_eq!(cands.len(), 8);
+        // Mechanisms outermost, then throttle, then ckpt.
+        assert_eq!(cands[0].mechanism, Mechanism::N_PAA);
+        assert_eq!(cands[0].knobs.admit_throttle, None);
+        assert_eq!(cands[0].knobs.ckpt_mult, 1.0);
+        assert_eq!(cands[1].knobs.ckpt_mult, 2.0);
+        assert_eq!(cands[2].knobs.admit_throttle, Some(1));
+        assert_eq!(cands[4].mechanism, Mechanism::CUA_SPAA);
+    }
+
+    #[test]
+    fn validate_rejects_bad_spaces() {
+        let mut space = SearchSpace::mechanisms_only();
+        space.mechanisms.push(Mechanism::Custom);
+        assert!(space.validate().unwrap_err().contains("Custom"));
+
+        let mut space = SearchSpace::mechanisms_only();
+        space.throttles.clear();
+        assert!(space.validate().unwrap_err().contains("empty axis"));
+
+        let mut space = SearchSpace::mechanisms_only();
+        space.ckpt_mults = vec![f64::NAN];
+        assert!(space.validate().unwrap_err().contains("NaN"));
+    }
+
+    #[test]
+    fn label_round_trips_through_knob_codec() {
+        let c = Candidate {
+            mechanism: Mechanism::CUP_SPAA,
+            knobs: KnobVector {
+                admit_throttle: Some(2),
+                backfill: Some(BackfillLevel::Aggressive),
+                ckpt_mult: 0.5,
+                placement: None,
+            },
+        };
+        let label = c.label();
+        let (mech, knobs) = label.split_once(' ').unwrap();
+        assert_eq!(mech, "CUP&SPAA");
+        assert_eq!(KnobVector::from_text(knobs).unwrap(), c.knobs);
+    }
+}

@@ -19,12 +19,14 @@
 
 pub mod clock;
 pub mod engine;
+pub mod par;
 pub mod queue;
 pub mod snap;
 pub mod time;
 
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use engine::{Engine, EngineStats, Simulation};
+pub use par::par_map;
 pub use queue::{EventId, EventQueue, QueueSnapshot};
 pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,432 @@
+//! Tunable scheduler knob vectors: the coordinate system the policy
+//! search (`hws-search`) and the `Environment` facade move through.
+//!
+//! A [`KnobVector`] is a point in the tuning space layered *on top of* a
+//! base `SimConfig`: every field is an override, and the distinguished
+//! [`KnobVector::identity`] point overrides nothing — applying it to any
+//! base configuration provably leaves the run bitwise unchanged (the
+//! differential-parity suites lean on this).
+//!
+//! The text codec follows the house single-line `key=value` style (see
+//! `outage.rs` for the multi-line variant): `to_text` and `from_text`
+//! round-trip exactly, floats are printed with `{:?}` so the shortest
+//! representation re-parses to the same bits, and malformed input is
+//! rejected with a per-field error rather than a panic.
+
+use std::fmt;
+
+/// Lower bound on [`KnobVector::ckpt_mult`] (1/64 of the configured
+/// checkpoint interval). Guards the `CkptConfig::with_factor` positivity
+/// assert and keeps τ from rounding to zero-ish pathologies.
+pub const CKPT_MULT_MIN: f64 = 1.0 / 64.0;
+/// Upper bound on [`KnobVector::ckpt_mult`] (64× the configured
+/// interval — effectively "almost never checkpoint" already).
+pub const CKPT_MULT_MAX: f64 = 64.0;
+
+/// EASY-backfill aggressiveness preset, mapped onto the two boolean
+/// backfill switches of the simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackfillLevel {
+    /// No backfilling at all (`easy_backfill = false`).
+    Off,
+    /// Plain EASY behind the blocked head (`easy_backfill = true`,
+    /// `backfill_on_reserved = false`).
+    Conservative,
+    /// EASY plus squatting on notice-phase reservations
+    /// (`easy_backfill = true`, `backfill_on_reserved = true`).
+    Aggressive,
+}
+
+impl BackfillLevel {
+    /// Every level, in declaration order (search-space enumeration).
+    pub const ALL: [BackfillLevel; 3] = [
+        BackfillLevel::Off,
+        BackfillLevel::Conservative,
+        BackfillLevel::Aggressive,
+    ];
+
+    /// The `(easy_backfill, backfill_on_reserved)` pair this level sets.
+    pub fn flags(self) -> (bool, bool) {
+        match self {
+            BackfillLevel::Off => (false, false),
+            BackfillLevel::Conservative => (true, false),
+            BackfillLevel::Aggressive => (true, true),
+        }
+    }
+
+    fn token(self) -> &'static str {
+        match self {
+            BackfillLevel::Off => "off",
+            BackfillLevel::Conservative => "conservative",
+            BackfillLevel::Aggressive => "aggressive",
+        }
+    }
+
+    fn parse(s: &str) -> Option<BackfillLevel> {
+        BackfillLevel::ALL.into_iter().find(|l| l.token() == s)
+    }
+}
+
+/// Federation placement policy choice, by name. Mirrors the concrete
+/// `PlacementPolicy` implementations in `hws-cluster` without taking a
+/// dependency on that crate — the applier resolves the name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PlacementChoice {
+    FirstFit,
+    LeastLoaded,
+    ClassAffinity,
+}
+
+impl PlacementChoice {
+    /// Every choice, in declaration order (search-space enumeration).
+    pub const ALL: [PlacementChoice; 3] = [
+        PlacementChoice::FirstFit,
+        PlacementChoice::LeastLoaded,
+        PlacementChoice::ClassAffinity,
+    ];
+
+    /// The policy name as `PlacementPolicy::name` reports it.
+    pub fn token(self) -> &'static str {
+        match self {
+            PlacementChoice::FirstFit => "first-fit",
+            PlacementChoice::LeastLoaded => "least-loaded",
+            PlacementChoice::ClassAffinity => "class-affinity",
+        }
+    }
+
+    fn parse(s: &str) -> Option<PlacementChoice> {
+        PlacementChoice::ALL.into_iter().find(|p| p.token() == s)
+    }
+}
+
+/// A point in the tuning space: per-field overrides over a base
+/// configuration. `None` (and `ckpt_mult = 1.0`) means "keep the base
+/// value"; [`KnobVector::identity`] keeps everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnobVector {
+    /// Capability-class admission throttle: at most this many capability
+    /// jobs running concurrently (`Some(0)` starves the class entirely).
+    /// `None` leaves admission to the base mechanism's hooks.
+    pub admit_throttle: Option<u32>,
+    /// Backfill aggressiveness override; `None` keeps the base flags.
+    pub backfill: Option<BackfillLevel>,
+    /// Multiplier on the base checkpoint `interval_factor`. `1.0` is the
+    /// identity (`x * 1.0 == x` bitwise for every finite `x`); valid
+    /// range is [`CKPT_MULT_MIN`], [`CKPT_MULT_MAX`].
+    pub ckpt_mult: f64,
+    /// Federation placement policy override; `None` keeps the base
+    /// policy. Only meaningful for federated base configurations.
+    pub placement: Option<PlacementChoice>,
+}
+
+impl Default for KnobVector {
+    fn default() -> Self {
+        KnobVector::identity()
+    }
+}
+
+impl KnobVector {
+    /// The override-nothing point: applying it to any base configuration
+    /// leaves the run bitwise unchanged.
+    pub fn identity() -> Self {
+        KnobVector {
+            admit_throttle: None,
+            backfill: None,
+            ckpt_mult: 1.0,
+            placement: None,
+        }
+    }
+
+    /// Whether this vector is the identity point.
+    pub fn is_identity(&self) -> bool {
+        self.admit_throttle.is_none()
+            && self.backfill.is_none()
+            && self.ckpt_mult == 1.0
+            && self.placement.is_none()
+    }
+
+    /// Validate the vector. Each rejection arm has its own message (and
+    /// a regression test): the appliers downstream feed `ckpt_mult` into
+    /// `CkptConfig::with_factor`, which *asserts* positivity — validation
+    /// here turns that panic into an `Err` at the API boundary.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ckpt_mult.is_nan() {
+            return Err("ckpt multiplier is NaN".into());
+        }
+        if !self.ckpt_mult.is_finite() {
+            return Err(format!("ckpt multiplier {} is not finite", self.ckpt_mult));
+        }
+        if self.ckpt_mult < CKPT_MULT_MIN {
+            return Err(format!(
+                "ckpt multiplier {} below minimum {CKPT_MULT_MIN}",
+                self.ckpt_mult
+            ));
+        }
+        if self.ckpt_mult > CKPT_MULT_MAX {
+            return Err(format!(
+                "ckpt multiplier {} above maximum {CKPT_MULT_MAX}",
+                self.ckpt_mult
+            ));
+        }
+        Ok(())
+    }
+
+    /// Single-line text form, e.g.
+    /// `admit=none backfill=keep ckpt=1.0 placement=keep`.
+    /// Round-trips exactly through [`KnobVector::from_text`].
+    pub fn to_text(&self) -> String {
+        let admit = match self.admit_throttle {
+            None => "none".to_string(),
+            Some(k) => k.to_string(),
+        };
+        let backfill = match self.backfill {
+            None => "keep",
+            Some(l) => l.token(),
+        };
+        let placement = match self.placement {
+            None => "keep",
+            Some(p) => p.token(),
+        };
+        format!(
+            "admit={admit} backfill={backfill} ckpt={:?} placement={placement}",
+            self.ckpt_mult
+        )
+    }
+
+    /// Parse the [`KnobVector::to_text`] form. Rejects unknown keys,
+    /// duplicate keys, missing keys, and unparsable values; the result is
+    /// additionally [`KnobVector::validate`]d.
+    pub fn from_text(s: &str) -> Result<KnobVector, String> {
+        let mut admit: Option<Option<u32>> = None;
+        let mut backfill: Option<Option<BackfillLevel>> = None;
+        let mut ckpt: Option<f64> = None;
+        let mut placement: Option<Option<PlacementChoice>> = None;
+        for tok in s.split_whitespace() {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("knob token {tok:?} is not key=value"))?;
+            match key {
+                "admit" => {
+                    if admit.is_some() {
+                        return Err("duplicate knob key admit".into());
+                    }
+                    admit = Some(match val {
+                        "none" => None,
+                        v => Some(
+                            v.parse::<u32>()
+                                .map_err(|_| format!("bad admit throttle {v:?}"))?,
+                        ),
+                    });
+                }
+                "backfill" => {
+                    if backfill.is_some() {
+                        return Err("duplicate knob key backfill".into());
+                    }
+                    backfill = Some(match val {
+                        "keep" => None,
+                        v => Some(
+                            BackfillLevel::parse(v)
+                                .ok_or_else(|| format!("bad backfill level {v:?}"))?,
+                        ),
+                    });
+                }
+                "ckpt" => {
+                    if ckpt.is_some() {
+                        return Err("duplicate knob key ckpt".into());
+                    }
+                    ckpt = Some(
+                        val.parse::<f64>()
+                            .map_err(|_| format!("bad ckpt multiplier {val:?}"))?,
+                    );
+                }
+                "placement" => {
+                    if placement.is_some() {
+                        return Err("duplicate knob key placement".into());
+                    }
+                    placement = Some(match val {
+                        "keep" => None,
+                        v => Some(
+                            PlacementChoice::parse(v)
+                                .ok_or_else(|| format!("bad placement policy {v:?}"))?,
+                        ),
+                    });
+                }
+                other => return Err(format!("unknown knob key {other:?}")),
+            }
+        }
+        let v = KnobVector {
+            admit_throttle: admit.ok_or("missing knob key admit")?,
+            backfill: backfill.ok_or("missing knob key backfill")?,
+            ckpt_mult: ckpt.ok_or("missing knob key ckpt")?,
+            placement: placement.ok_or("missing knob key placement")?,
+        };
+        v.validate()?;
+        Ok(v)
+    }
+}
+
+impl fmt::Display for KnobVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let id = KnobVector::identity();
+        assert!(id.is_identity());
+        assert!(id.validate().is_ok());
+        assert_eq!(KnobVector::default(), id);
+    }
+
+    #[test]
+    fn text_round_trip_exact() {
+        let vectors = [
+            KnobVector::identity(),
+            KnobVector {
+                admit_throttle: Some(0),
+                backfill: Some(BackfillLevel::Off),
+                ckpt_mult: CKPT_MULT_MIN,
+                placement: Some(PlacementChoice::ClassAffinity),
+            },
+            KnobVector {
+                admit_throttle: Some(u32::MAX),
+                backfill: Some(BackfillLevel::Aggressive),
+                ckpt_mult: CKPT_MULT_MAX,
+                placement: Some(PlacementChoice::LeastLoaded),
+            },
+            KnobVector {
+                admit_throttle: Some(3),
+                backfill: Some(BackfillLevel::Conservative),
+                ckpt_mult: 0.333333333333333,
+                placement: Some(PlacementChoice::FirstFit),
+            },
+        ];
+        for v in vectors {
+            let text = v.to_text();
+            let back = KnobVector::from_text(&text).expect("round trip");
+            assert_eq!(back, v, "through {text:?}");
+            assert_eq!(back.to_text(), text);
+        }
+    }
+
+    #[test]
+    fn identity_text_is_stable() {
+        assert_eq!(
+            KnobVector::identity().to_text(),
+            "admit=none backfill=keep ckpt=1.0 placement=keep"
+        );
+    }
+
+    #[test]
+    fn rejects_nan_ckpt_mult() {
+        let v = KnobVector {
+            ckpt_mult: f64::NAN,
+            ..KnobVector::identity()
+        };
+        let err = v.validate().unwrap_err();
+        assert!(err.contains("NaN"), "{err}");
+    }
+
+    #[test]
+    fn rejects_infinite_ckpt_mult() {
+        for inf in [f64::INFINITY, f64::NEG_INFINITY] {
+            let v = KnobVector {
+                ckpt_mult: inf,
+                ..KnobVector::identity()
+            };
+            let err = v.validate().unwrap_err();
+            assert!(err.contains("not finite"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_too_small_ckpt_mult() {
+        for bad in [0.0, -1.0, CKPT_MULT_MIN / 2.0, f64::MIN_POSITIVE] {
+            let v = KnobVector {
+                ckpt_mult: bad,
+                ..KnobVector::identity()
+            };
+            let err = v.validate().unwrap_err();
+            assert!(err.contains("below minimum"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_too_large_ckpt_mult() {
+        for bad in [CKPT_MULT_MAX * 2.0, f64::MAX] {
+            let v = KnobVector {
+                ckpt_mult: bad,
+                ..KnobVector::identity()
+            };
+            let err = v.validate().unwrap_err();
+            assert!(err.contains("above maximum"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn boundary_ckpt_mults_are_valid() {
+        for ok in [CKPT_MULT_MIN, 1.0, CKPT_MULT_MAX] {
+            let v = KnobVector {
+                ckpt_mult: ok,
+                ..KnobVector::identity()
+            };
+            assert!(v.validate().is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        let cases = [
+            ("admit backfill=keep ckpt=1.0 placement=keep", "key=value"),
+            (
+                "admit=none backfill=keep ckpt=1.0",
+                "missing knob key placement",
+            ),
+            (
+                "admit=none admit=1 backfill=keep ckpt=1.0 placement=keep",
+                "duplicate knob key admit",
+            ),
+            (
+                "admit=none backfill=keep ckpt=1.0 placement=keep bogus=1",
+                "unknown knob key",
+            ),
+            (
+                "admit=-1 backfill=keep ckpt=1.0 placement=keep",
+                "bad admit throttle",
+            ),
+            (
+                "admit=none backfill=sometimes ckpt=1.0 placement=keep",
+                "bad backfill level",
+            ),
+            (
+                "admit=none backfill=keep ckpt=fast placement=keep",
+                "bad ckpt multiplier",
+            ),
+            (
+                "admit=none backfill=keep ckpt=1.0 placement=everywhere",
+                "bad placement policy",
+            ),
+            (
+                "admit=none backfill=keep ckpt=1000.0 placement=keep",
+                "above maximum",
+            ),
+            ("", "missing knob key admit"),
+        ];
+        for (text, want) in cases {
+            let err = KnobVector::from_text(text).unwrap_err();
+            assert!(err.contains(want), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn backfill_flags_map() {
+        assert_eq!(BackfillLevel::Off.flags(), (false, false));
+        assert_eq!(BackfillLevel::Conservative.flags(), (true, false));
+        assert_eq!(BackfillLevel::Aggressive.flags(), (true, true));
+    }
+}

@@ -20,6 +20,7 @@ pub mod dist;
 pub mod gen;
 pub mod ids;
 pub mod job;
+pub mod knobs;
 pub mod outage;
 pub mod source;
 pub mod stats;
@@ -30,6 +31,7 @@ pub mod trace;
 pub use gen::{NoticeMix, TraceConfig};
 pub use ids::{JobId, ProjectId};
 pub use job::{JobClass, JobKind, JobSpec, NoticeCategory, NoticeSpec};
+pub use knobs::{BackfillLevel, KnobVector, PlacementChoice, CKPT_MULT_MAX, CKPT_MULT_MIN};
 pub use outage::{MaintenanceWindow, OutageEvent, OutageKind, OutageSchedule};
 pub use source::{JobSource, MaterializedSource, SwfStreamSource};
 pub use sublog::{earliest_event, LiveSource, LogEntry, SubmissionLog, SubmitOp};

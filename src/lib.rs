@@ -47,6 +47,9 @@
 //!   as [`hws_core::MechanismHooks`] compositions, and the layered
 //!   trace-replay driver (DESIGN.md §2–§3).
 //! * [`hws_metrics`] — the paper's §IV-D metrics and cross-seed averaging.
+//! * [`hws_search`] — deterministic black-box policy search (grid and
+//!   tournament tuners over mechanism/knob vectors) on top of the
+//!   [`hws_core::Environment`] facade (DESIGN.md §16).
 //!
 //! Every table and figure of the paper regenerates from `hws-bench`
 //! binaries (`cargo run -p hws-bench --bin fig6 --release`), which fan
@@ -57,6 +60,7 @@
 pub use hws_cluster;
 pub use hws_core;
 pub use hws_metrics;
+pub use hws_search;
 pub use hws_sim;
 pub use hws_workload;
 
@@ -67,20 +71,27 @@ pub mod prelude {
         LeaseLedger, LeastLoaded, NodeId, PlacementPolicy, ShardSpec,
     };
     pub use hws_core::{
-        replay_submission_log, AdmissionView, ArrivalPlan, ArrivalPolicy, ArrivalStrategy,
-        ArrivalView, CancelOutcome, CapabilityAware, CkptConfig, CollectUntilArrival,
-        CollectUntilPredicted, Composed, IgnoreNotices, JobStatus, Mechanism, MechanismHooks,
-        NoticeDecision, NoticePolicy, NoticeStrategy, NoticeView, PolicyKind, PredictionView,
-        PreemptAtArrival, SchedulerService, ShrinkStrategy, ShrinkThenPreempt, SimConfig,
-        SimOutcome, Simulator, SubmitError, VictimOrder,
+        apply_knobs, config_for_knobs, replay_submission_log, Action, AdmissionView, ArrivalPlan,
+        ArrivalPolicy, ArrivalStrategy, ArrivalView, CancelOutcome, CapabilityAware, CkptConfig,
+        CollectUntilArrival, CollectUntilPredicted, Composed, EnvSpec, Environment, EpisodeReport,
+        IgnoreNotices, JobStatus, Mechanism, MechanismHooks, NoticeDecision, NoticePolicy,
+        NoticeStrategy, NoticeView, Observation, PolicyKind, PredictionView, PreemptAtArrival,
+        SchedulerService, ShrinkStrategy, ShrinkThenPreempt, SimConfig, SimOutcome, Simulator,
+        SubmitError, TunableHooks, VictimOrder,
     };
     pub use hws_metrics::{
-        ClassBreakdown, ClassStats, Metrics, MetricsAvg, Recorder, ShardStat, ShardTotals, Table,
+        ClassBreakdown, ClassStats, Metrics, MetricsAvg, Recorder, RewardSpec, ShardStat,
+        ShardTotals, Table,
+    };
+    pub use hws_search::{
+        grid_search, tournament_search, Candidate, Leaderboard, SearchConfig, SearchSpace,
+        TournamentConfig,
     };
     pub use hws_sim::{SimDuration, SimTime};
     pub use hws_workload::{
-        job::JobSpecBuilder, JobClass, JobId, JobKind, JobSpec, LiveSource, LogEntry,
-        NoticeCategory, NoticeMix, SubmissionLog, SubmitOp, Trace, TraceConfig,
+        job::JobSpecBuilder, BackfillLevel, JobClass, JobId, JobKind, JobSpec, KnobVector,
+        LiveSource, LogEntry, NoticeCategory, NoticeMix, PlacementChoice, SubmissionLog, SubmitOp,
+        Trace, TraceConfig,
     };
 }
 
